@@ -1,0 +1,63 @@
+"""E-X1 — ablation: machine-queue capacity for batch policies.
+
+The Fig-3 GUI exposes the machine queue size for batch policies; this
+ablation quantifies the design choice. Tiny queues keep mapping decisions
+late (good information) but risk starving machines; effectively-unbounded
+queues degenerate batch mode toward immediate-mode commitment. Sweeps
+capacity ∈ {1, 2, 3, 5, 10} for Min-Min on a saturated heterogeneous system.
+"""
+
+import pytest
+
+from repro.core.config import Scenario
+from repro.education.assignment import AssignmentConfig, build_heterogeneous_eet
+from repro.metrics.stats import summarize
+from repro.viz.barchart import BarChart
+
+CAPACITIES = (1, 2, 3, 5, 10)
+
+
+def run_sweep():
+    config = AssignmentConfig(duration=500.0, replications=5, seed=2023)
+    eet = build_heterogeneous_eet(config)
+    outcomes = {}
+    for capacity in CAPACITIES:
+        rates = []
+        for rep in range(config.replications):
+            scenario = Scenario(
+                eet=eet,
+                machine_counts={n: 1 for n in eet.machine_type_names},
+                scheduler="MM",
+                queue_capacity=capacity,
+                generator={"duration": config.duration, "intensity": "high"},
+                seed=config.seed,
+                name=f"queue-{capacity}",
+            )
+            rates.append(scenario.run(replication=rep).summary.completion_rate)
+        outcomes[capacity] = summarize(rates).mean
+    return outcomes
+
+
+def test_bench_ablation_queue_size(benchmark, results_dir):
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    chart = BarChart(
+        "ablation — MM completion % vs machine-queue capacity (high intensity)",
+        max_value=100.0,
+        unit="%",
+    )
+    for capacity, rate in outcomes.items():
+        chart.add(f"capacity={capacity}", 100.0 * rate)
+    (results_dir / "ablation_queue_size.txt").write_text(
+        chart.to_text() + "\n", encoding="utf-8"
+    )
+    chart.to_csv(results_dir / "ablation_queue_size.csv")
+
+    rates = list(outcomes.values())
+    assert all(0.0 < r <= 1.0 for r in rates)
+    # Small queues dominate under overload: keeping tasks in the batch queue
+    # lets Min-Min keep re-deciding instead of committing early. The shape:
+    # capacity 1 is at least as good as capacity 10 by a visible margin.
+    assert outcomes[1] >= outcomes[10]
+    # And the sweep actually moves the metric (the knob matters).
+    assert max(rates) - min(rates) > 0.01

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The full class assignment of §4, end to end.
+
+Reproduces the student workflow: run the three intensity levels on a
+homogeneous and a heterogeneous system with immediate policies (Figures 5
+and 6), the heterogeneous system with batch policies (Figure 7), save the
+CSV data behind each bar chart, and print the charts.
+
+Run:  python examples/class_assignment.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.education.assignment import (
+    AssignmentConfig,
+    figure5,
+    figure6,
+    figure7,
+)
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("assignment_out")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    config = AssignmentConfig(duration=500.0, replications=3, seed=2023)
+
+    for number, builder in (("5", figure5), ("6", figure6), ("7", figure7)):
+        figure = builder(config)
+        print(figure.to_text())
+        print()
+        csv_path = out_dir / f"figure{number}.csv"
+        figure.chart.to_csv(csv_path)
+        print(f"  -> series saved to {csv_path}")
+        print()
+
+    print("Assignment questions the data answers:")
+    print(" 1. Why does completion % fall as intensity rises?   ")
+    print("    (offered load exceeds capacity; queueing delay eats slack)")
+    print(" 2. Why does MECT beat FCFS on the heterogeneous system?")
+    print("    (FCFS ignores EETs; MECT avoids slow-machine assignments)")
+    print(" 3. Why do batch policies beat immediate ones when overloaded?")
+    print("    (a buffered queue lets the mapper pick task/machine pairs")
+    print("     jointly instead of committing on arrival)")
+
+
+if __name__ == "__main__":
+    main()

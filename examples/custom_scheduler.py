@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Plugging in a custom scheduling policy — the graduate assignment (§4).
+
+"Required by the graduate students ... the third part of this assignment was
+to create and implement their own scheduling method for the heterogeneous
+system that enabled fairness across various task types."
+
+This example implements exactly that: FAIR-MCT, a custom immediate policy
+that biases completion-time mapping toward task types with poor historical
+on-time rates, registers it with one decorator, and benchmarks it against
+the built-ins on completion rate and Jain's fairness index.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+import numpy as np
+
+from repro import (
+    ImmediateScheduler,
+    Scenario,
+    generate_eet_cvb,
+    register_scheduler,
+)
+
+
+@register_scheduler
+class FairMCT(ImmediateScheduler):
+    """MCT with a fairness boost for historically-starved task types.
+
+    The machine score is expected completion time scaled by the task type's
+    historical on-time rate: a type failing often sees effectively *smaller*
+    completion times, so it wins contended fast machines more frequently.
+    """
+
+    name = "FAIR-MCT"
+    description = "custom policy: completion time scaled by per-type success"
+
+    def __init__(self, pressure: float = 1.0) -> None:
+        self.pressure = pressure
+
+    def choose_machine(self, task, ctx):
+        completion = ctx.cluster.completion_times(task, ctx.now)
+        success = ctx.type_stats.success_rate(task.task_type.name)
+        # success 1.0 -> plain MCT; success 0.0 -> strongly prioritised.
+        weight = 1.0 - self.pressure * (1.0 - success) * 0.5
+        return ctx.cluster.machines[int(np.argmin(completion * weight))]
+
+
+def main() -> None:
+    # A skewed system: T3 is slow everywhere, so greedy policies starve it.
+    rng_eet = generate_eet_cvb(
+        3, 4, mean_task=18.0, v_task=0.9, v_machine=0.5, seed=23
+    )
+    scenario = Scenario(
+        eet=rng_eet,
+        machine_counts={n: 1 for n in rng_eet.machine_type_names},
+        scheduler="MECT",
+        generator={"duration": 600.0, "intensity": 1.6},
+        seed=5,
+        name="custom-policy-demo",
+    )
+
+    print("policy     completion%   fairness(Jain)  per-type completion %")
+    print("-" * 72)
+    for policy in ("FCFS", "MECT", "FAIR-MCT"):
+        result = scenario.with_scheduler(policy).run()
+        s = result.summary
+        by_type = "  ".join(
+            f"{name}:{100 * rate:5.1f}"
+            for name, rate in sorted(s.completion_rate_by_type.items())
+        )
+        print(
+            f"{policy:<10} {100 * s.completion_rate:10.1f}   "
+            f"{s.fairness_index:13.3f}   {by_type}"
+        )
+
+    print()
+    print(
+        "FAIR-MCT trades a little aggregate completion for a flatter\n"
+        "per-type profile — the trade-off the assignment asks students to\n"
+        "discover. Try `pressure=2.0` for a stronger fairness push:"
+    )
+    result = scenario.with_scheduler("FAIR-MCT", pressure=2.0).run()
+    print(
+        f"FAIR-MCT(pressure=2): completion "
+        f"{100 * result.summary.completion_rate:.1f}%, fairness "
+        f"{result.summary.fairness_index:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

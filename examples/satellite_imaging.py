@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Satellite image processing on a CPU/GPU/FPGA cluster (paper §3's example).
+
+"A heterogeneous system processing satellite images should support task types
+for object detection, noise removal, and image enhancements to be performed
+on the received images."
+
+This example runs that system across all batch policies, prints the per-type
+completion rates (does any application starve?), the machine utilisation
+report, energy per policy, and an execution timeline showing where each
+application actually ran.
+
+Run:  python examples/satellite_imaging.py
+"""
+
+from repro.scenarios import satellite_imaging
+from repro.viz.barchart import GroupedBarChart
+from repro.viz.timeline import timeline_from_records
+
+
+def main() -> None:
+    policies = ("MM", "MMU", "MSD", "ELARE", "FELARE")
+    chart = GroupedBarChart(
+        "satellite imaging — per-task-type completion % by policy",
+        max_value=100.0,
+        unit="%",
+    )
+    energies: dict[str, float] = {}
+    sample_records = None
+
+    for policy in policies:
+        scenario = satellite_imaging(
+            scheduler=policy, intensity="high", duration=500.0
+        )
+        result = scenario.run()
+        for type_name, rate in sorted(
+            result.summary.completion_rate_by_type.items()
+        ):
+            chart.set(type_name, policy, 100.0 * rate)
+        energies[policy] = result.summary.total_energy
+        if policy == "MM":
+            sample_records = result.task_records
+            machine_report = result.reports.machine_report()
+
+    print(chart.to_text())
+    print()
+
+    print("total energy (J) per policy:")
+    for policy, joules in energies.items():
+        print(f"  {policy:<8} {joules:12.0f}")
+    print()
+
+    print("machine utilisation under MM:")
+    print(machine_report.to_text())
+    print()
+
+    print("execution timeline under MM (first 60 s):")
+    chart = timeline_from_records(sample_records, width=70)
+    print(chart.to_text(t_max=60.0))
+    print()
+    print(
+        "Object detection (o) concentrates on the GPU, noise removal (n) on\n"
+        "the FPGA — heterogeneity exploited by completion-time-aware mapping."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+This offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) are unavailable. Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,272 @@
+"""Command-line interface: the GUI workflow for terminals.
+
+Subcommands mirror the E2C GUI surface:
+
+* ``e2c-sim run`` — load a scenario (JSON, or EET+workload CSVs), pick a
+  policy, run, print/save reports; ``--animate`` streams the live Fig-1 view.
+* ``e2c-sim generate`` — the workload component: synthesise a workload CSV
+  for an EET at a chosen intensity.
+* ``e2c-sim schedulers`` — the policy drop-down: list registered policies.
+* ``e2c-sim assignment`` — regenerate the class-assignment figures (5/6/7).
+* ``e2c-sim table1`` — the positioning table.
+* ``e2c-sim quiz`` — print a quiz sheet (and, with ``--key``, its answers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .core.config import Scenario
+from .core.errors import E2CError
+from .machines.eet import EETMatrix
+from .machines.machine_queue import UNBOUNDED
+from .scheduling.base import SchedulingMode
+from .scheduling.registry import available_schedulers, scheduler_class
+from .tasks.generator import WorkloadGenerator
+from .tasks.trace_io import write_workload_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="e2c-sim",
+        description=(
+            "E2C-Repro: discrete-event simulation of heterogeneous "
+            "computing systems (reproduction of Mokhtari et al., IPDPSW'23)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a simulation scenario")
+    run.add_argument("--scenario", type=Path, help="scenario JSON file")
+    run.add_argument("--eet", type=Path, help="EET CSV (with --workload)")
+    run.add_argument("--workload", type=Path, help="workload trace CSV")
+    run.add_argument(
+        "--scheduler", default="MECT", help="policy name (see 'schedulers')"
+    )
+    run.add_argument(
+        "--queue-size",
+        type=int,
+        default=None,
+        help="machine queue capacity for batch policies (default unbounded)",
+    )
+    run.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default relative deadline for workload rows lacking one",
+    )
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--report",
+        choices=["full", "task", "machine", "summary"],
+        default="summary",
+        help="which report to print",
+    )
+    run.add_argument(
+        "--save-reports", type=Path, default=None, metavar="DIR",
+        help="write all four reports as CSVs into DIR",
+    )
+    run.add_argument(
+        "--animate", action="store_true",
+        help="stream the live system view while running",
+    )
+    run.add_argument(
+        "--frame-every", type=int, default=10,
+        help="with --animate: render every N-th event",
+    )
+
+    gen = sub.add_parser("generate", help="generate a workload CSV for an EET")
+    gen.add_argument("--eet", type=Path, required=True, help="EET CSV")
+    gen.add_argument("--out", type=Path, required=True, help="output workload CSV")
+    gen.add_argument(
+        "--intensity", default="medium",
+        help="low / medium / high or an oversubscription ratio",
+    )
+    gen.add_argument("--duration", type=float, default=600.0)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument(
+        "--machines-per-type", type=int, default=1,
+        help="capacity calibration: machines per EET column",
+    )
+
+    sched = sub.add_parser("schedulers", help="list available policies")
+    sched.add_argument(
+        "--mode", choices=["immediate", "batch"], default=None
+    )
+
+    assign = sub.add_parser(
+        "assignment", help="regenerate the class-assignment figures (5/6/7)"
+    )
+    assign.add_argument(
+        "--figure", choices=["5", "6", "7", "all"], default="all"
+    )
+    assign.add_argument("--replications", type=int, default=3)
+    assign.add_argument("--duration", type=float, default=400.0)
+    assign.add_argument("--seed", type=int, default=2023)
+
+    sub.add_parser("table1", help="print the simulator positioning table")
+
+    quiz = sub.add_parser("quiz", help="print a scheduling quiz sheet")
+    quiz.add_argument("--seed", type=int, default=None)
+    quiz.add_argument(
+        "--key", action="store_true", help="also print the answer key"
+    )
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        scenario = Scenario.from_json(args.scenario)
+        if args.scheduler != "MECT" or scenario.scheduler is None:
+            pass  # scenario file wins unless user overrides below
+        if args.seed is not None:
+            from dataclasses import replace
+
+            scenario = replace(scenario, seed=args.seed)
+    elif args.eet is not None and args.workload is not None:
+        extra = {}
+        if args.queue_size is not None:
+            extra["queue_capacity"] = args.queue_size
+        scenario = Scenario.from_csv_files(
+            args.eet,
+            args.workload,
+            args.scheduler,
+            default_relative_deadline=args.deadline,
+            seed=args.seed,
+            **extra,
+        )
+    else:
+        print(
+            "error: provide --scenario JSON or both --eet and --workload CSVs",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.animate:
+        from .viz.animation import Animator
+
+        animator = Animator(
+            scenario.build_simulator,
+            stream=sys.stdout,
+            frame_every=args.frame_every,
+        )
+        animator.play()
+        result = animator.simulator.result()
+    else:
+        result = scenario.run()
+
+    bundle = result.reports
+    print(bundle.by_name(args.report).to_text())
+    if args.save_reports is not None:
+        paths = bundle.save_all(args.save_reports)
+        print(f"\nsaved: {', '.join(str(p) for p in paths)}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    eet = EETMatrix.read_csv(args.eet)
+    generator = WorkloadGenerator(
+        eet, machine_counts=[args.machines_per_type] * eet.n_machine_types
+    )
+    try:
+        intensity: str | float = float(args.intensity)
+    except ValueError:
+        intensity = args.intensity
+    workload = generator.generate(
+        args.duration, intensity=intensity, seed=args.seed
+    )
+    write_workload_csv(workload, args.out)
+    print(f"wrote {len(workload)} tasks to {args.out}")
+    return 0
+
+
+def _cmd_schedulers(args: argparse.Namespace) -> int:
+    mode = SchedulingMode(args.mode) if args.mode else None
+    for name in available_schedulers(mode):
+        klass = scheduler_class(name)
+        print(f"{name:<10} [{klass.mode.value}] {klass.description}")
+    return 0
+
+
+def _cmd_assignment(args: argparse.Namespace) -> int:
+    from .education.assignment import (
+        AssignmentConfig,
+        figure5,
+        figure6,
+        figure7,
+    )
+
+    config = AssignmentConfig(
+        replications=args.replications,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    figures = {"5": figure5, "6": figure6, "7": figure7}
+    chosen = figures.keys() if args.figure == "all" else [args.figure]
+    for key in chosen:
+        print(figures[key](config).to_text())
+        print()
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .positioning import render_table
+
+    print(render_table())
+    return 0
+
+
+def _cmd_quiz(args: argparse.Namespace) -> int:
+    from .education.quiz import generate_quiz
+
+    quiz = generate_quiz(seed=args.seed)
+    print(quiz.to_text())
+    if args.key:
+        print("\nAnswer key (machine index per task):")
+        for method, mapping in quiz.answer_key().items():
+            pretty = ", ".join(
+                f"task {tid} -> {quiz.eet.machine_type_names[mid]}"
+                for tid, mid in sorted(mapping.items())
+            )
+            print(f"  {method:<5} {pretty}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "generate": _cmd_generate,
+    "schedulers": _cmd_schedulers,
+    "assignment": _cmd_assignment,
+    "table1": _cmd_table1,
+    "quiz": _cmd_quiz,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except E2CError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Simulation clock.
+
+A thin, monotonic wrapper around "current simulation time". Keeping it as an
+object (rather than a bare float on the simulator) lets machines, metrics and
+renderers share one authoritative time source, mirroring the "Current Time"
+display of the E2C GUI.
+"""
+
+from __future__ import annotations
+
+from .errors import SimulationStateError
+
+__all__ = ["SimulationClock"]
+
+
+class SimulationClock:
+    """Monotonic simulation clock measured in simulated seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationStateError(f"clock cannot start at negative time {start}")
+        self._start = float(start)
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def start(self) -> float:
+        """Time at which the clock (re)started."""
+        return self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated time elapsed since the start."""
+        return self._now - self._start
+
+    def advance_to(self, time: float) -> float:
+        """Move the clock forward to *time* (never backwards).
+
+        Raises
+        ------
+        SimulationStateError
+            If *time* precedes the current time (events must be causal).
+        """
+        if time < self._now:
+            raise SimulationStateError(
+                f"clock cannot move backwards: now={self._now}, requested={time}"
+            )
+        self._now = float(time)
+        return self._now
+
+    def reset(self, start: float | None = None) -> None:
+        """Rewind the clock, optionally to a new start time."""
+        if start is not None:
+            if start < 0:
+                raise SimulationStateError(
+                    f"clock cannot restart at negative time {start}"
+                )
+            self._start = float(start)
+        self._now = self._start
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulationClock(now={self._now:.6g})"

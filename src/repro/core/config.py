@@ -1,0 +1,401 @@
+"""Scenario configuration: declarative description of a whole experiment.
+
+A :class:`Scenario` bundles everything the GUI collects before "Play": the
+EET matrix, the machine population (with power profiles), the scheduler and
+its parameters, the machine-queue capacity, and the workload (an explicit
+trace or a generator recipe). Scenarios serialise to/from JSON so experiments
+are reproducible artifacts, and they are the unit the CLI (`e2c-sim run`)
+consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..machines.cluster import Cluster
+from ..machines.eet import EETMatrix
+from ..machines.execution import ExecutionTimeModel, execution_model_from_spec
+from ..machines.failures import FailureModel
+from ..machines.machine_queue import UNBOUNDED
+from ..machines.power import PowerProfile
+from ..scheduling.base import Scheduler, SchedulingMode
+from ..scheduling.overhead import SchedulingOverhead
+from ..scheduling.registry import create_scheduler
+from ..tasks.generator import TaskTypeSpec, WorkloadGenerator
+from ..tasks.task_type import TaskType
+from ..tasks.trace_io import read_workload_csv
+from ..tasks.workload import Workload
+from .errors import ConfigurationError
+from .rng import derive_seed
+from .simulator import SimulationResult, Simulator
+
+__all__ = ["Scenario"]
+
+
+@dataclass
+class Scenario:
+    """A fully-specified, reproducible simulation experiment.
+
+    Attributes
+    ----------
+    eet:
+        The EET matrix (task types × machine types).
+    machine_counts:
+        Machines per machine type, e.g. ``{"CPU": 2, "GPU": 1}``.
+    scheduler:
+        Registry name of the policy (e.g. "MECT", "MM").
+    scheduler_params:
+        Keyword arguments for the policy constructor.
+    queue_capacity:
+        Machine-queue capacity for batch mode (UNBOUNDED default; immediate
+        mode always forces UNBOUNDED).
+    workload:
+        Explicit task trace; mutually exclusive with ``generator``.
+    generator:
+        Recipe dict: ``{"duration": 400, "intensity": "high",
+        "specs": [...], "n_tasks": optional}``.
+    power_profiles:
+        Per machine type; defaults to zero-power profiles.
+    seed:
+        Master seed; workload generation and execution noise derive from it.
+    drop_on_deadline:
+        Paper semantics (cancel/drop on deadline) when True; when False tasks
+        run to completion and lateness is recorded instead.
+    execution_model:
+        Spec dict for runtime noise (None ⇒ deterministic).
+    enable_network:
+        Activate the communication extension (uses each machine type's
+        latency/bandwidth and the task types' data sizes).
+    memory_capacities / network:
+        Per-machine-type extension parameters.
+    """
+
+    eet: EETMatrix
+    machine_counts: Mapping[str, int]
+    scheduler: str
+    scheduler_params: dict = field(default_factory=dict)
+    queue_capacity: float = UNBOUNDED
+    workload: Workload | None = None
+    generator: dict | None = None
+    power_profiles: dict[str, PowerProfile] = field(default_factory=dict)
+    seed: int | None = None
+    drop_on_deadline: bool = True
+    execution_model: dict | None = None
+    enable_network: bool = False
+    memory_capacities: dict[str, float] = field(default_factory=dict)
+    network: dict[str, tuple[float, float]] = field(default_factory=dict)
+    failure_model: FailureModel | None = None
+    scheduling_overhead: dict | None = None
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        if (self.workload is None) == (self.generator is None):
+            raise ConfigurationError(
+                "exactly one of 'workload' or 'generator' must be provided"
+            )
+        unknown = set(self.machine_counts) - set(self.eet.machine_type_names)
+        if unknown:
+            raise ConfigurationError(
+                f"machine_counts reference unknown machine types {sorted(unknown)}"
+            )
+        if self.workload is not None:
+            self.workload.validate_against_eet(self.eet)
+
+    # -- builders --------------------------------------------------------------------
+
+    def build_cluster(self) -> Cluster:
+        return Cluster.build(
+            self.eet,
+            dict(self.machine_counts),
+            power_profiles=self.power_profiles,
+            queue_capacity=self.queue_capacity,
+            memory_capacities=self.memory_capacities,
+            network=self.network,
+        )
+
+    def build_workload(self, *, replication: int = 0) -> Workload:
+        """Materialise the task trace.
+
+        ``replication`` offsets the derived seed so replicated runs of the
+        same scenario draw independent workloads while staying reproducible.
+        """
+        if self.workload is not None:
+            return self.workload.fresh_copy()
+        assert self.generator is not None
+        recipe = dict(self.generator)
+        specs = [
+            TaskTypeSpec.from_dict(s) if isinstance(s, Mapping) else s
+            for s in recipe.get("specs", [])
+        ] or None
+        gen = WorkloadGenerator(
+            self.eet,
+            specs,
+            machine_counts=[
+                self.machine_counts.get(n, 0)
+                for n in self.eet.machine_type_names
+            ],
+        )
+        seed = derive_seed(self.seed, "workload", replication)
+        if "n_tasks" in recipe:
+            return gen.generate_count(
+                recipe["n_tasks"],
+                intensity=recipe.get("intensity", "medium"),
+                seed=seed,
+            )
+        if "duration" not in recipe:
+            raise ConfigurationError(
+                "generator recipe needs 'duration' or 'n_tasks'"
+            )
+        return gen.generate(
+            recipe["duration"],
+            intensity=recipe.get("intensity", "medium"),
+            seed=seed,
+        )
+
+    def build_scheduler(self) -> Scheduler:
+        return create_scheduler(self.scheduler, **self.scheduler_params)
+
+    def build_simulator(self, *, replication: int = 0) -> Simulator:
+        scheduler = self.build_scheduler()
+        queue_capacity = (
+            UNBOUNDED
+            if scheduler.mode is SchedulingMode.IMMEDIATE
+            else self.queue_capacity
+        )
+        return Simulator(
+            cluster=self.build_cluster(),
+            workload=self.build_workload(replication=replication),
+            scheduler=scheduler,
+            seed=derive_seed(self.seed, "simulation", replication),
+            drop_on_deadline=self.drop_on_deadline,
+            execution_model=execution_model_from_spec(self.execution_model),
+            queue_capacity=queue_capacity,
+            enable_network=self.enable_network,
+            failure_model=self.failure_model,
+            scheduling_overhead=SchedulingOverhead.from_spec(
+                self.scheduling_overhead
+            ),
+        )
+
+    def run(self, *, replication: int = 0) -> SimulationResult:
+        """Build and run once; the one-liner most experiments need."""
+        return self.build_simulator(replication=replication).run()
+
+    def run_replications(self, n: int) -> list[SimulationResult]:
+        """Run *n* independent replications (seeds derived from the master)."""
+        if n <= 0:
+            raise ConfigurationError(f"need at least 1 replication, got {n}")
+        return [self.run(replication=i) for i in range(n)]
+
+    # -- JSON round-trip ----------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.workload is not None:
+            workload_spec: Any = {
+                "tasks": [
+                    {
+                        "task_id": t.id,
+                        "task_type": t.task_type.name,
+                        "arrival_time": t.arrival_time,
+                        "deadline": t.deadline,
+                    }
+                    for t in self.workload
+                ]
+            }
+        else:
+            workload_spec = None
+        return {
+            "name": self.name,
+            "eet": {
+                "task_types": [
+                    {
+                        "name": t.name,
+                        "relative_deadline": t.relative_deadline,
+                        "data_in": t.data_in,
+                        "data_out": t.data_out,
+                        "memory": t.memory,
+                    }
+                    for t in self.eet.task_types
+                ],
+                "machine_types": self.eet.machine_type_names,
+                "values": self.eet.values.tolist(),
+            },
+            "machine_counts": dict(self.machine_counts),
+            "scheduler": self.scheduler,
+            "scheduler_params": dict(self.scheduler_params),
+            "queue_capacity": (
+                None if self.queue_capacity == UNBOUNDED else self.queue_capacity
+            ),
+            "workload": workload_spec,
+            "generator": self.generator,
+            "power_profiles": {
+                name: {
+                    "idle_watts": p.idle_watts,
+                    "busy_watts": p.busy_watts,
+                    "busy_watts_by_type": dict(p.busy_watts_by_type),
+                }
+                for name, p in self.power_profiles.items()
+            },
+            "seed": self.seed,
+            "drop_on_deadline": self.drop_on_deadline,
+            "execution_model": self.execution_model,
+            "enable_network": self.enable_network,
+            "memory_capacities": dict(self.memory_capacities),
+            "network": {k: list(v) for k, v in self.network.items()},
+            "scheduling_overhead": self.scheduling_overhead,
+            "failure_model": (
+                None
+                if self.failure_model is None
+                else {
+                    "mtbf": self.failure_model.mtbf,
+                    "mttr": self.failure_model.mttr,
+                    "per_machine_type": {
+                        k: list(v)
+                        for k, v in self.failure_model.per_machine_type.items()
+                    },
+                }
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        eet_spec = data["eet"]
+        task_types = [
+            TaskType(
+                name=t["name"],
+                index=i,
+                relative_deadline=t.get("relative_deadline"),
+                data_in=t.get("data_in", 0.0),
+                data_out=t.get("data_out", 0.0),
+                memory=t.get("memory", 0.0),
+            )
+            for i, t in enumerate(eet_spec["task_types"])
+        ]
+        eet = EETMatrix(
+            np.array(eet_spec["values"], dtype=float),
+            task_types,
+            eet_spec["machine_types"],
+        )
+        workload = None
+        if data.get("workload") is not None:
+            from ..tasks.trace_io import workload_from_rows
+
+            workload = workload_from_rows(
+                data["workload"]["tasks"], task_types=task_types
+            )
+        power = {
+            name: PowerProfile(
+                idle_watts=p.get("idle_watts", 0.0),
+                busy_watts=p.get("busy_watts", 0.0),
+                busy_watts_by_type=p.get("busy_watts_by_type", {}),
+            )
+            for name, p in data.get("power_profiles", {}).items()
+        }
+        capacity = data.get("queue_capacity")
+        return cls(
+            eet=eet,
+            machine_counts=data["machine_counts"],
+            scheduler=data["scheduler"],
+            scheduler_params=data.get("scheduler_params", {}),
+            queue_capacity=UNBOUNDED if capacity is None else capacity,
+            workload=workload,
+            generator=data.get("generator"),
+            power_profiles=power,
+            seed=data.get("seed"),
+            drop_on_deadline=data.get("drop_on_deadline", True),
+            execution_model=data.get("execution_model"),
+            enable_network=data.get("enable_network", False),
+            memory_capacities=data.get("memory_capacities", {}),
+            network={
+                k: (v[0], v[1]) for k, v in data.get("network", {}).items()
+            },
+            scheduling_overhead=data.get("scheduling_overhead"),
+            failure_model=(
+                None
+                if data.get("failure_model") is None
+                else FailureModel(
+                    mtbf=data["failure_model"]["mtbf"],
+                    mttr=data["failure_model"]["mttr"],
+                    per_machine_type={
+                        k: (v[0], v[1])
+                        for k, v in data["failure_model"]
+                        .get("per_machine_type", {})
+                        .items()
+                    },
+                )
+            ),
+            name=data.get("name", "scenario"),
+        )
+
+    def to_json(self, path: str | Path | None = None, *, indent: int = 2) -> str:
+        text = json.dumps(self.to_dict(), indent=indent)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "Scenario":
+        """Load from a JSON file path or a JSON string."""
+        if isinstance(source, Path) or (
+            isinstance(source, str) and not source.lstrip().startswith("{")
+        ):
+            text = Path(source).read_text(encoding="utf-8")
+        else:
+            text = source
+        return cls.from_dict(json.loads(text))
+
+    # -- conveniences ------------------------------------------------------------------------
+
+    @classmethod
+    def from_csv_files(
+        cls,
+        eet_csv: str | Path,
+        workload_csv: str | Path,
+        scheduler: str,
+        **kwargs,
+    ) -> "Scenario":
+        """The Fig-2 workflow: load EET and workload CSVs, pick a policy."""
+        eet = EETMatrix.read_csv(eet_csv)
+        workload = read_workload_csv(
+            workload_csv,
+            task_types=eet.task_types,
+            default_relative_deadline=kwargs.pop(
+                "default_relative_deadline", None
+            ),
+        )
+        return cls(
+            eet=eet,
+            machine_counts=kwargs.pop(
+                "machine_counts",
+                {n: 1 for n in eet.machine_type_names},
+            ),
+            scheduler=scheduler,
+            workload=workload,
+            **kwargs,
+        )
+
+    def with_scheduler(self, scheduler: str, **params) -> "Scenario":
+        """Copy of this scenario under a different policy (comparison sweeps)."""
+        from dataclasses import replace
+
+        return replace(
+            self, scheduler=scheduler, scheduler_params=params,
+            name=f"{self.name}:{scheduler}",
+        )
+
+    def with_intensity(self, intensity: str | float) -> "Scenario":
+        """Copy with a different generator intensity (low/medium/high sweeps)."""
+        if self.generator is None:
+            raise ConfigurationError(
+                "with_intensity requires a generator-based scenario"
+            )
+        from dataclasses import replace
+
+        recipe = dict(self.generator)
+        recipe["intensity"] = intensity
+        return replace(self, generator=recipe, name=f"{self.name}@{intensity}")

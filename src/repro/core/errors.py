@@ -1,0 +1,62 @@
+"""Exception hierarchy for the E2C reproduction.
+
+All library errors derive from :class:`E2CError` so callers can catch a single
+base class. Sub-classes are grouped by subsystem: configuration, workload/EET
+compatibility, scheduling, and simulation-state misuse (e.g. stepping a
+finished simulation).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "E2CError",
+    "ConfigurationError",
+    "WorkloadError",
+    "EETError",
+    "IncompatibleWorkloadError",
+    "SchedulingError",
+    "UnknownSchedulerError",
+    "SimulationStateError",
+    "ReportError",
+]
+
+
+class E2CError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(E2CError):
+    """A scenario or component was configured with invalid parameters."""
+
+
+class WorkloadError(E2CError):
+    """A workload trace is malformed (bad columns, negative times, ...)."""
+
+
+class EETError(E2CError):
+    """An EET matrix is malformed (non-positive entries, bad shape, ...)."""
+
+
+class IncompatibleWorkloadError(WorkloadError):
+    """The workload references task types that the EET matrix does not define.
+
+    Mirrors the paper's requirement (Fig. 2): "EET and Workload files must be
+    compatible ... there can be no task type within the workload that is not
+    defined within the EET".
+    """
+
+
+class SchedulingError(E2CError):
+    """A scheduling policy produced an invalid decision."""
+
+
+class UnknownSchedulerError(SchedulingError, KeyError):
+    """Requested scheduler name is not present in the registry."""
+
+
+class SimulationStateError(E2CError):
+    """An operation was attempted in an invalid simulator state."""
+
+
+class ReportError(E2CError):
+    """Report generation or export failed."""

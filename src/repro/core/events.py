@@ -1,0 +1,90 @@
+"""Event taxonomy for the discrete-event simulation kernel.
+
+The future-event list orders events by ``(time, priority, seq)``. Priorities
+encode the paper's tie-break semantics at equal timestamps:
+
+* a task completing exactly at its deadline counts as *on time*, therefore
+  ``TASK_COMPLETION`` sorts before ``TASK_DEADLINE``;
+* arrivals are processed after completions (a machine freed at *t* is visible
+  to the scheduling pass triggered by an arrival at *t*) but before deadline
+  sweeps, so a task arriving exactly at another task's deadline does not see
+  stale queue state;
+* control events (end-of-simulation markers, user hooks) come last.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventType", "Event", "EVENT_PRIORITY"]
+
+
+class EventType(enum.Enum):
+    """Kinds of events the simulator processes."""
+
+    TASK_COMPLETION = "task_completion"
+    MACHINE_REPAIR = "machine_repair"
+    NETWORK_DELIVERY = "network_delivery"
+    TASK_ARRIVAL = "task_arrival"
+    TASK_DEADLINE = "task_deadline"
+    MACHINE_FAILURE = "machine_failure"
+    CONTROL = "control"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventType.{self.name}"
+
+
+#: Total order of event kinds at equal timestamps (lower fires first).
+#: Repairs precede arrivals (an arrival at the repair instant sees the
+#: machine up); failures follow deadlines (a task completing or expiring at
+#: the failure instant resolves before the machine dies).
+EVENT_PRIORITY: dict[EventType, int] = {
+    EventType.TASK_COMPLETION: 0,
+    EventType.MACHINE_REPAIR: 1,
+    EventType.NETWORK_DELIVERY: 2,
+    EventType.TASK_ARRIVAL: 3,
+    EventType.TASK_DEADLINE: 4,
+    EventType.MACHINE_FAILURE: 5,
+    EventType.CONTROL: 6,
+}
+
+_seq_counter = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A single simulation event.
+
+    Attributes
+    ----------
+    time:
+        Simulation timestamp at which the event fires.
+    type:
+        The :class:`EventType` of this event.
+    payload:
+        Event-specific data (a task, a machine, ...). Never inspected by the
+        queue itself.
+    seq:
+        Monotonic tie-break counter; guarantees FIFO stability among events
+        with identical ``(time, priority)``.
+    """
+
+    time: float
+    type: EventType
+    payload: Any = None
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    @property
+    def priority(self) -> int:
+        """Priority rank of this event's type (lower fires first)."""
+        return EVENT_PRIORITY[self.type]
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Key under which the future-event list orders this event."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()

@@ -1,0 +1,468 @@
+"""The E2C simulation engine (Fig. 1).
+
+Orchestrates the full pipeline: workload → batch queue → scheduler → machine
+queues → machines, with cancelled/dropped bookkeeping, energy metering, and
+the four reports at the end.
+
+Event handling per step:
+
+* ``TASK_ARRIVAL`` — the task enters the batch queue; a scheduling pass runs.
+* ``TASK_COMPLETION`` — the machine finishes its running task (on time by
+  construction: the completion event is cancelled if the deadline fires
+  first); the machine starts its next queued task; a scheduling pass runs
+  (batch mode sees the freed queue slot).
+* ``TASK_DEADLINE`` — fate depends on where the task is: batch queue ⇒
+  CANCELLED; machine queue ⇒ MISSED (queued); executing ⇒ MISSED (running;
+  the pending completion event is cancelled and the machine moves on).
+* ``NETWORK_DELIVERY`` — (communication extension) the task's payload has
+  reached its machine; the machine may start it now.
+
+A scheduling pass sweeps expired tasks out of the batch queue, snapshots the
+remaining pending tasks, invokes the policy, and applies its assignments —
+including starting idle machines and scheduling their completion events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..machines.cluster import Cluster
+from ..machines.execution import DeterministicExecution, ExecutionTimeModel
+from ..machines.failures import FailureModel
+from ..machines.machine import Machine
+from ..machines.machine_queue import UNBOUNDED
+from ..metrics.collector import MetricsCollector, SummaryMetrics
+from ..metrics.energy import EnergyBreakdown, energy_breakdown
+from ..metrics.reports import ReportBundle
+from ..queues.batch_queue import BatchQueue
+from ..scheduling.base import Assignment, Scheduler, SchedulingMode
+from ..scheduling.context import LiveTypeStats, SchedulingContext
+from ..tasks.task import DropStage, Task, TaskStatus
+from ..tasks.workload import Workload
+from .clock import SimulationClock
+from .errors import ConfigurationError, SchedulingError, SimulationStateError
+from .event_queue import EventQueue
+from .events import Event, EventType
+from .rng import make_rng
+
+__all__ = ["Simulator", "SimulationResult"]
+
+Observer = Callable[["Simulator", Event], None]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a finished run produced."""
+
+    summary: SummaryMetrics
+    task_records: list[dict]
+    machine_records: list[dict]
+    energy: EnergyBreakdown
+    end_time: float
+    scheduler_name: str
+    events_processed: int
+
+    @property
+    def reports(self) -> ReportBundle:
+        """The four E2C reports (Full / Task / Machine / Summary)."""
+        return ReportBundle(
+            self.task_records, self.machine_records, self.summary.as_dict()
+        )
+
+    @property
+    def completion_rate(self) -> float:
+        return self.summary.completion_rate
+
+
+class Simulator:
+    """Discrete-event simulator for one scenario run."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workload: Workload,
+        scheduler: Scheduler,
+        *,
+        seed: int | None | np.random.Generator = None,
+        drop_on_deadline: bool = True,
+        execution_model: ExecutionTimeModel | None = None,
+        queue_capacity: float | None = None,
+        enable_network: bool = False,
+        failure_model: FailureModel | None = None,
+        scheduling_overhead: "SchedulingOverhead | None" = None,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        workload.validate_against_eet(cluster.eet)
+        self.cluster = cluster
+        self.workload = workload
+        self.scheduler = scheduler
+        self.drop_on_deadline = drop_on_deadline
+        self.execution_model = execution_model or DeterministicExecution()
+        self.enable_network = enable_network
+        self.failure_model = failure_model
+        from ..scheduling.overhead import SchedulingOverhead
+
+        self.scheduling_overhead = (
+            scheduling_overhead
+            if scheduling_overhead is not None
+            else SchedulingOverhead()
+        )
+        self.observers = list(observers)
+        self.rng = make_rng(seed)
+
+        if queue_capacity is not None:
+            if (
+                scheduler.mode is SchedulingMode.IMMEDIATE
+                and queue_capacity != UNBOUNDED
+            ):
+                raise ConfigurationError(
+                    "immediate policies require unbounded machine queues "
+                    "(Fig. 3: 'limited to infinite for immediate policies')"
+                )
+            cluster.set_queue_capacity(queue_capacity)
+        elif scheduler.mode is SchedulingMode.IMMEDIATE:
+            cluster.set_queue_capacity(UNBOUNDED)
+
+        self.clock = SimulationClock()
+        self.events = EventQueue()
+        self.batch_queue = BatchQueue()
+        self.collector = MetricsCollector()
+        self.type_stats = LiveTypeStats()
+        self.scheduler.reset()
+
+        self._events_processed = 0
+        self._finished = False
+        self._result: SimulationResult | None = None
+
+        for task in workload:
+            self.events.push(
+                Event(task.arrival_time, EventType.TASK_ARRIVAL, task)
+            )
+            if self.drop_on_deadline and task.deadline != float("inf"):
+                self.events.push(
+                    Event(task.deadline, EventType.TASK_DEADLINE, task)
+                )
+        if self.failure_model is not None and len(workload) > 0:
+            for machine in self.cluster:
+                self._schedule_failure(machine)
+
+    # -- public control surface ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def is_finished(self) -> bool:
+        return self._finished
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def next_event_time(self) -> float | None:
+        return self.events.next_time()
+
+    def step(self) -> Event | None:
+        """Process exactly one event (the GUI's Increment button).
+
+        Returns the processed event, or None when the simulation is over.
+        """
+        if self._finished:
+            return None
+        if not self.events:
+            self._finish()
+            return None
+        event = self.events.pop()
+        self.clock.advance_to(event.time)
+        self._dispatch(event)
+        self._events_processed += 1
+        for observer in self.observers:
+            observer(self, event)
+        if not self.events:
+            self._finish()
+        return event
+
+    def run(self, until: float | None = None) -> SimulationResult:
+        """Run to completion (or to simulated time *until*) and return results."""
+        while not self._finished:
+            next_time = self.events.next_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            self.step()
+        if until is None:
+            if not self._finished:
+                self._finish()
+            assert self._result is not None
+            return self._result
+        return self._build_result()
+
+    def result(self) -> SimulationResult:
+        """Result of a finished run."""
+        if self._result is None:
+            raise SimulationStateError(
+                "simulation has not finished; call run() first"
+            )
+        return self._result
+
+    # -- event dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> None:
+        if event.type is EventType.TASK_ARRIVAL:
+            self._on_arrival(event.payload)
+        elif event.type is EventType.TASK_COMPLETION:
+            self._on_completion(event.payload)
+        elif event.type is EventType.TASK_DEADLINE:
+            self._on_deadline(event.payload)
+        elif event.type is EventType.NETWORK_DELIVERY:
+            self._on_delivery(event.payload)
+        elif event.type is EventType.MACHINE_FAILURE:
+            self._on_failure(event.payload)
+        elif event.type is EventType.MACHINE_REPAIR:
+            self._on_repair(event.payload)
+        elif event.type is EventType.CONTROL:  # pragma: no cover - hook
+            pass
+        else:  # pragma: no cover - defensive
+            raise SimulationStateError(f"unhandled event type {event.type}")
+
+    def _on_arrival(self, task: Task) -> None:
+        self.batch_queue.push(task)
+        self._scheduling_pass()
+
+    def _on_completion(self, payload: tuple[Machine, Task]) -> None:
+        machine, task = payload
+        if machine.running is not task:  # pragma: no cover - defensive
+            raise SimulationStateError(
+                f"completion event for task {task.id} but machine "
+                f"{machine.name} is running "
+                f"{machine.running.id if machine.running else None}"
+            )
+        finished = machine.finish_running(self.now)
+        self.collector.record_terminal(finished)
+        self.type_stats.record(finished.task_type.name, finished.on_time)
+        self._try_start(machine)
+        self._scheduling_pass()
+
+    def _on_deadline(self, task: Task) -> None:
+        if task.status.is_terminal:
+            return  # completed exactly at (or before) the deadline
+        now = self.now
+        if task.status in (TaskStatus.CREATED, TaskStatus.IN_BATCH_QUEUE):
+            self.batch_queue.remove(task)
+            task.cancel(now)
+            self.collector.record_terminal(task)
+            self.type_stats.record(task.task_type.name, False)
+            return
+        machine = task.machine
+        if machine is None:  # pragma: no cover - defensive
+            raise SimulationStateError(
+                f"task {task.id} is {task.status.name} but has no machine"
+            )
+        if task.status is TaskStatus.ASSIGNED:
+            in_transit = (
+                task.available_at is not None and task.available_at > now
+            )
+            if not machine.drop_queued(task):  # pragma: no cover - defensive
+                raise SimulationStateError(
+                    f"task {task.id} not found in machine {machine.name} queue"
+                )
+            task.miss(
+                now,
+                DropStage.IN_TRANSIT if in_transit else DropStage.MACHINE_QUEUE,
+            )
+        elif task.status is TaskStatus.RUNNING:
+            if machine.completion_event is not None:
+                self.events.cancel(machine.completion_event)
+            machine.drop_running(self.now)
+            task.miss(now, DropStage.EXECUTING)
+            self._try_start(machine)
+        else:  # pragma: no cover - defensive
+            raise SimulationStateError(
+                f"deadline fired for task {task.id} in state {task.status.name}"
+            )
+        self.collector.record_terminal(task)
+        self.type_stats.record(task.task_type.name, False)
+        self._scheduling_pass()
+
+    def _on_delivery(self, payload: tuple[Machine, Task]) -> None:
+        machine, task = payload
+        if task.status is TaskStatus.ASSIGNED:
+            self._try_start(machine)
+
+    # -- failure injection ---------------------------------------------------------
+
+    def _schedule_failure(self, machine: Machine) -> None:
+        assert self.failure_model is not None
+        uptime = self.failure_model.sample_uptime(machine, self.rng)
+        self.events.push(
+            Event(self.now + uptime, EventType.MACHINE_FAILURE, machine)
+        )
+
+    def _all_tasks_terminal(self) -> bool:
+        return self.collector.recorded >= len(self.workload)
+
+    def _on_failure(self, machine: Machine) -> None:
+        assert self.failure_model is not None
+        if not machine.up:  # pragma: no cover - defensive
+            return
+        if machine.completion_event is not None:
+            self.events.cancel(machine.completion_event)
+        evicted = machine.fail(self.now)
+        for task in evicted:
+            task.requeue(self.now)
+            self.batch_queue.readmit(task)
+        downtime = self.failure_model.sample_downtime(machine, self.rng)
+        self.events.push(
+            Event(self.now + downtime, EventType.MACHINE_REPAIR, machine)
+        )
+        # Evicted tasks may be remappable onto surviving machines right now.
+        self._scheduling_pass()
+
+    def _on_repair(self, machine: Machine) -> None:
+        assert self.failure_model is not None
+        machine.repair(self.now)
+        # Keep the failure process alive only while there is work left; this
+        # bounds the event stream so simulations terminate.
+        if not self._all_tasks_terminal():
+            self._schedule_failure(machine)
+        self._scheduling_pass()
+
+    # -- scheduling ---------------------------------------------------------------------
+
+    def _scheduling_pass(self) -> None:
+        now = self.now
+        if self.drop_on_deadline:
+            for task in self.batch_queue.sweep_expired(now):
+                self.collector.record_terminal(task)
+                self.type_stats.record(task.task_type.name, False)
+        pending = self.batch_queue.snapshot()
+        if not pending:
+            return
+        ctx = SchedulingContext(
+            now=now,
+            pending=pending,
+            cluster=self.cluster,
+            type_stats=self.type_stats,
+            rng=self.rng,
+        )
+        assignments = self.scheduler.schedule(ctx)
+        decision_delay = self.scheduling_overhead.pass_delay(
+            len(pending), len(self.cluster)
+        )
+        self._apply(assignments, decision_delay=decision_delay)
+
+    def _apply(
+        self,
+        assignments: Sequence[Assignment],
+        *,
+        decision_delay: float = 0.0,
+    ) -> None:
+        now = self.now
+        for assignment in assignments:
+            task, machine = assignment.task, assignment.machine
+            if task.status is not TaskStatus.IN_BATCH_QUEUE:
+                raise SchedulingError(
+                    f"{self.scheduler.name}: assignment for task {task.id} "
+                    f"in state {task.status.name}"
+                )
+            if not machine.can_accept(task):
+                # Bounded queue or memory admission refused the mapping; the
+                # task stays in the batch queue for the next pass.
+                continue
+            if not self.batch_queue.remove(task):  # pragma: no cover - defensive
+                raise SchedulingError(
+                    f"{self.scheduler.name}: task {task.id} not in batch queue"
+                )
+            delay = self._transfer_delay(task, machine) + decision_delay
+            if delay > 0:
+                task.available_at = now + delay
+            machine.enqueue(task, now)
+            if delay > 0:
+                self.events.push(
+                    Event(
+                        now + delay,
+                        EventType.NETWORK_DELIVERY,
+                        (machine, task),
+                    )
+                )
+            self._try_start(machine)
+
+    def _transfer_delay(self, task: Task, machine: Machine) -> float:
+        if not self.enable_network:
+            return 0.0
+        from ..net.transfer import transfer_delay
+
+        return transfer_delay(task.task_type, machine.machine_type)
+
+    def _try_start(self, machine: Machine) -> None:
+        """Start the machine's next task if possible; schedule its completion."""
+        head = machine.queue.peek()
+        runtime = None
+        if head is not None and machine.is_idle:
+            expected = machine.eet_for(head)
+            runtime = self.execution_model.sample(head, expected, self.rng)
+        started = machine.start_next(self.now, runtime)
+        if started is not None:
+            event = self.events.push(
+                Event(
+                    machine.run_finishes_at,
+                    EventType.TASK_COMPLETION,
+                    (machine, started),
+                )
+            )
+            machine.completion_event = event
+
+    # -- termination -----------------------------------------------------------------------
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        for machine in self.cluster:
+            machine.finalize_energy(self.now)
+        self._result = self._build_result()
+        expected = len(self.workload)
+        if self.drop_on_deadline and self.collector.recorded != expected:
+            raise SimulationStateError(
+                f"conservation violated: {self.collector.recorded} terminal "
+                f"tasks out of {expected}"
+            )
+
+    def _build_result(self) -> SimulationResult:
+        summary = self.collector.summary(self.cluster, end_time=self.now)
+        return SimulationResult(
+            summary=summary,
+            task_records=self.collector.task_records(),
+            machine_records=self.collector.machine_records(self.cluster),
+            energy=energy_breakdown(self.cluster),
+            end_time=self.now,
+            scheduler_name=self.scheduler.name,
+            events_processed=self._events_processed,
+        )
+
+    # -- renderer-facing state ------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Live outcome counters (the cancelled/missed boxes of the GUI)."""
+        tasks = self.collector.tasks()
+        return {
+            "completed": sum(
+                1 for t in tasks if t.status is TaskStatus.COMPLETED
+            ),
+            "cancelled": sum(
+                1 for t in tasks if t.status is TaskStatus.CANCELLED
+            ),
+            "missed": sum(1 for t in tasks if t.status is TaskStatus.MISSED),
+        }
+
+    def remaining_arrivals(self) -> int:
+        """Workload tasks that have not arrived yet."""
+        return sum(
+            1 for t in self.workload if t.status is TaskStatus.CREATED
+        )

@@ -1,0 +1,62 @@
+"""Education layer: assignments, quizzes, cohorts and surveys (§4–§5)."""
+
+from .assignment import (
+    BATCH_POLICIES,
+    IMMEDIATE_POLICIES,
+    AssignmentConfig,
+    AssignmentFigure,
+    build_heterogeneous_eet,
+    build_homogeneous_eet,
+    figure5,
+    figure6,
+    figure7,
+    run_completion_sweep,
+)
+from .cohort import (
+    PAPER_POST_MEAN,
+    PAPER_PRE_MEAN,
+    CohortModel,
+    QuizStudyResult,
+    Student,
+    mastery_for_target_score,
+    run_quiz_study,
+)
+from .quiz import DEFAULT_METHODS, QuizQuestion, QuizResult, generate_quiz
+from .survey import (
+    PAPER_COHORT,
+    PAPER_METRICS,
+    Respondent,
+    SurveyMetric,
+    SurveyStudy,
+    generate_cohort,
+)
+
+__all__ = [
+    "AssignmentConfig",
+    "AssignmentFigure",
+    "IMMEDIATE_POLICIES",
+    "BATCH_POLICIES",
+    "build_homogeneous_eet",
+    "build_heterogeneous_eet",
+    "run_completion_sweep",
+    "figure5",
+    "figure6",
+    "figure7",
+    "QuizQuestion",
+    "QuizResult",
+    "generate_quiz",
+    "DEFAULT_METHODS",
+    "Student",
+    "CohortModel",
+    "QuizStudyResult",
+    "run_quiz_study",
+    "mastery_for_target_score",
+    "PAPER_PRE_MEAN",
+    "PAPER_POST_MEAN",
+    "SurveyMetric",
+    "Respondent",
+    "SurveyStudy",
+    "PAPER_METRICS",
+    "PAPER_COHORT",
+    "generate_cohort",
+]

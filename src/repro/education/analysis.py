@@ -1,0 +1,92 @@
+"""Student-side report analysis — from saved CSVs to the assignment charts.
+
+The §4 workflow after the simulations: "students ... saved the CSV output
+files ... then created bar graphs to depict the percentage of completed
+tasks". This module is that half of the assignment: load saved Task/Summary
+report CSVs back (no simulator required), compute completion percentages —
+overall and per task type — and build the grouped bar chart.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence, TextIO
+
+from ..core.errors import ReportError
+from ..viz.barchart import GroupedBarChart
+
+__all__ = [
+    "load_report_csv",
+    "completion_percentage",
+    "completion_by_type",
+    "build_completion_chart",
+]
+
+
+def load_report_csv(source: str | Path | TextIO) -> list[dict[str, str]]:
+    """Read any saved report CSV back into row dicts (all values strings)."""
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = source.read()
+    rows = list(csv.DictReader(io.StringIO(text)))
+    if not rows:
+        raise ReportError("report CSV holds no rows")
+    return rows
+
+
+def _require_task_rows(rows: Sequence[Mapping[str, str]]) -> None:
+    if not rows or "status" not in rows[0] or "task_id" not in rows[0]:
+        raise ReportError(
+            "expected a Task/Full report CSV (needs task_id and status columns)"
+        )
+
+
+def completion_percentage(rows: Sequence[Mapping[str, str]]) -> float:
+    """Completed tasks / total tasks × 100, from Task-report rows."""
+    _require_task_rows(rows)
+    completed = sum(1 for r in rows if r["status"] == "completed")
+    return 100.0 * completed / len(rows)
+
+
+def completion_by_type(
+    rows: Sequence[Mapping[str, str]]
+) -> dict[str, float]:
+    """Per-task-type completion percentage, from Task-report rows."""
+    _require_task_rows(rows)
+    totals: dict[str, int] = {}
+    done: dict[str, int] = {}
+    for r in rows:
+        name = r.get("task_type", "")
+        totals[name] = totals.get(name, 0) + 1
+        if r["status"] == "completed":
+            done[name] = done.get(name, 0) + 1
+    return {
+        name: 100.0 * done.get(name, 0) / count
+        for name, count in sorted(totals.items())
+    }
+
+
+def build_completion_chart(
+    saved_reports: Mapping[str, Mapping[str, str | Path | TextIO]],
+    *,
+    title: str = "completion % from saved reports",
+) -> GroupedBarChart:
+    """The student's bar graph from saved report files.
+
+    ``saved_reports`` maps intensity label → {policy → task-report CSV
+    source}, mirroring the files a student collects across runs::
+
+        chart = build_completion_chart({
+            "low":  {"FCFS": "low_fcfs_task_report.csv", ...},
+            "high": {"FCFS": "high_fcfs_task_report.csv", ...},
+        })
+    """
+    chart = GroupedBarChart(title=title, max_value=100.0, unit="%")
+    for intensity, per_policy in saved_reports.items():
+        for policy, source in per_policy.items():
+            rows = load_report_csv(source)
+            chart.set(intensity, policy, completion_percentage(rows))
+    return chart

@@ -1,0 +1,192 @@
+"""Cluster: the machine population of a scenario.
+
+Builds machine instances from (machine type, count) pairs against an EET
+matrix and provides the aggregate views the scheduler and the renderer need:
+ready-time vectors, completion-time vectors (NumPy, vectorised across
+machines), load snapshots and energy totals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..tasks.task import Task
+from .eet import EETMatrix
+from .machine import Machine
+from .machine_queue import UNBOUNDED
+from .machine_type import MachineType
+from .power import PowerProfile
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """An ordered collection of machines sharing one EET matrix."""
+
+    def __init__(self, machines: Sequence[Machine], eet: EETMatrix) -> None:
+        if not machines:
+            raise ConfigurationError("a cluster needs at least one machine")
+        ids = [m.id for m in machines]
+        if ids != list(range(len(machines))):
+            raise ConfigurationError(
+                f"machine ids must be 0..n-1 in order, got {ids}"
+            )
+        for m in machines:
+            if not eet.has_machine_type(m.machine_type.name):
+                raise ConfigurationError(
+                    f"machine {m.name}: type {m.machine_type.name!r} has no EET "
+                    f"column; columns: {eet.machine_type_names}"
+                )
+        self.machines = list(machines)
+        self.eet = eet
+        # Cache the EET column index per machine for vectorised lookups.
+        col_of = {n: j for j, n in enumerate(eet.machine_type_names)}
+        self._machine_cols = np.array(
+            [col_of[m.machine_type.name] for m in machines], dtype=int
+        )
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        eet: EETMatrix,
+        counts: Mapping[str, int] | Sequence[int],
+        *,
+        power_profiles: Mapping[str, PowerProfile] | None = None,
+        queue_capacity: float = UNBOUNDED,
+        memory_capacities: Mapping[str, float] | None = None,
+        network: Mapping[str, tuple[float, float]] | None = None,
+    ) -> "Cluster":
+        """Create machines from per-machine-type counts.
+
+        Parameters
+        ----------
+        counts:
+            Either ``{"CPU": 2, "GPU": 1}`` or a sequence aligned with the EET
+            columns.
+        power_profiles:
+            Optional per-machine-type power profiles.
+        queue_capacity:
+            Initial machine-queue capacity applied to all machines (the
+            simulator overrides this per scheduling mode).
+        memory_capacities / network:
+            Optional extension parameters per machine type; ``network`` maps
+            type name to ``(latency_s, bandwidth_MBps)``.
+        """
+        names = eet.machine_type_names
+        if isinstance(counts, Mapping):
+            unknown = set(counts) - set(names)
+            if unknown:
+                raise ConfigurationError(
+                    f"counts reference unknown machine types {sorted(unknown)}"
+                )
+            count_list = [int(counts.get(n, 0)) for n in names]
+        else:
+            if len(counts) != len(names):
+                raise ConfigurationError(
+                    f"counts sequence length {len(counts)} != machine types "
+                    f"{len(names)}"
+                )
+            count_list = [int(c) for c in counts]
+        if any(c < 0 for c in count_list):
+            raise ConfigurationError("machine counts must be >= 0")
+        if sum(count_list) == 0:
+            raise ConfigurationError("at least one machine is required")
+
+        power_profiles = power_profiles or {}
+        memory_capacities = memory_capacities or {}
+        network = network or {}
+        machine_types = []
+        for j, name in enumerate(names):
+            latency, bandwidth = network.get(name, (0.0, 0.0))
+            machine_types.append(
+                MachineType(
+                    name=name,
+                    index=j,
+                    power=power_profiles.get(name, PowerProfile()),
+                    memory_capacity=memory_capacities.get(name, 0.0),
+                    network_latency=latency,
+                    network_bandwidth=bandwidth,
+                )
+            )
+
+        machines: list[Machine] = []
+        for mtype, count in zip(machine_types, count_list):
+            for _ in range(count):
+                machines.append(
+                    Machine(
+                        machine_id=len(machines),
+                        machine_type=mtype,
+                        eet=eet,
+                        queue_capacity=queue_capacity,
+                    )
+                )
+        return cls(machines, eet)
+
+    # -- container protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    def __iter__(self) -> Iterator[Machine]:
+        return iter(self.machines)
+
+    def __getitem__(self, i: int) -> Machine:
+        return self.machines[i]
+
+    # -- vectorised planning views ------------------------------------------------------
+
+    def eet_vector(self, task: Task) -> np.ndarray:
+        """EET of *task* on each machine (aligned with machine order)."""
+        row = self.eet.row(task.task_type)
+        return row[self._machine_cols]
+
+    def ready_times(self, now: float) -> np.ndarray:
+        """ready_time(now) per machine."""
+        return np.array([m.ready_time(now) for m in self.machines])
+
+    def completion_times(self, task: Task, now: float) -> np.ndarray:
+        """Expected completion time of *task* on each machine."""
+        return self.ready_times(now) + self.eet_vector(task)
+
+    def acceptance_mask(self) -> np.ndarray:
+        """Boolean mask of machines whose queues can take one more task."""
+        return np.array([m.can_accept() for m in self.machines])
+
+    # -- aggregates ------------------------------------------------------------------------
+
+    def total_energy(self) -> float:
+        return sum(m.energy.total_energy for m in self.machines)
+
+    def set_queue_capacity(self, capacity: float) -> None:
+        """Re-create empty queues with a new capacity (pre-run configuration)."""
+        for m in self.machines:
+            if len(m.queue) or m.running is not None:
+                raise ConfigurationError(
+                    "cannot change queue capacity while tasks are in flight"
+                )
+            m.queue = type(m.queue)(capacity)
+
+    def counts_by_type(self) -> dict[str, int]:
+        out: dict[str, int] = {n: 0 for n in self.eet.machine_type_names}
+        for m in self.machines:
+            out[m.machine_type.name] += 1
+        return out
+
+    def fresh_copy(self) -> "Cluster":
+        """New cluster with identical topology and pristine runtime state."""
+        machines = [
+            Machine(
+                machine_id=m.id,
+                machine_type=m.machine_type,
+                eet=self.eet,
+                queue_capacity=m.queue.capacity,
+                name=m.name,
+            )
+            for m in self.machines
+        ]
+        return Cluster(machines, self.eet)

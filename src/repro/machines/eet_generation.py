@@ -1,0 +1,165 @@
+"""Synthetic EET matrix generation (Ali et al. 2000, the paper's ref [4]).
+
+Two standard methods for generating heterogeneous EET matrices:
+
+* **Range-based**: draw a per-task baseline q_i ~ U(1, R_task), then
+  EET[i, j] = q_i × U(1, R_machine). Simple; heterogeneity controlled by the
+  ranges.
+* **CVB (coefficient-of-variation-based)**: draw q_i ~ Gamma with mean
+  ``mean_task`` and CoV ``v_task``, then EET[i, j] ~ Gamma with mean q_i and
+  CoV ``v_machine``. This is the method of the paper's reference [4]; the two
+  CoVs directly express task and machine heterogeneity.
+
+Both support the three *consistency* classes of [4]:
+
+* ``inconsistent`` — raw draws; machine A may beat B on one task type and lose
+  on another (GPUs vs CPUs vs FPGAs; the realistic accelerator world).
+* ``consistent`` — every row sorted by a common machine order: one global
+  speed ranking (a cluster of same-ISA machines of different generations).
+* ``partially_consistent`` (a.k.a. semi-consistent) — a random half of the
+  columns is made consistent, the rest stays inconsistent.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.rng import make_rng
+from .eet import EETMatrix
+
+__all__ = ["generate_eet_range_based", "generate_eet_cvb", "make_consistency"]
+
+Consistency = Literal["inconsistent", "consistent", "partially_consistent"]
+
+
+def _names(
+    n_task_types: int,
+    n_machine_types: int,
+    task_type_names: Sequence[str] | None,
+    machine_type_names: Sequence[str] | None,
+) -> tuple[list[str], list[str]]:
+    tnames = (
+        list(task_type_names)
+        if task_type_names is not None
+        else [f"T{i + 1}" for i in range(n_task_types)]
+    )
+    mnames = (
+        list(machine_type_names)
+        if machine_type_names is not None
+        else [f"M{j + 1}" for j in range(n_machine_types)]
+    )
+    if len(tnames) != n_task_types or len(mnames) != n_machine_types:
+        raise ConfigurationError("name lists must match requested dimensions")
+    return tnames, mnames
+
+
+def make_consistency(
+    matrix: np.ndarray,
+    consistency: Consistency,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Impose a consistency class on a raw EET matrix (returns a copy)."""
+    out = np.array(matrix, dtype=float)
+    if consistency == "inconsistent":
+        return out
+    if consistency == "consistent":
+        out.sort(axis=1)
+        return out
+    if consistency == "partially_consistent":
+        n_cols = out.shape[1]
+        k = max(1, n_cols // 2)
+        cols = np.sort(rng.choice(n_cols, size=k, replace=False))
+        sub = np.sort(out[:, cols], axis=1)
+        out[:, cols] = sub
+        return out
+    raise ConfigurationError(
+        f"unknown consistency {consistency!r}; expected inconsistent, "
+        "consistent or partially_consistent"
+    )
+
+
+def generate_eet_range_based(
+    n_task_types: int,
+    n_machine_types: int,
+    *,
+    task_range: float = 100.0,
+    machine_range: float = 10.0,
+    consistency: Consistency = "inconsistent",
+    seed: int | None | np.random.Generator = None,
+    task_type_names: Sequence[str] | None = None,
+    machine_type_names: Sequence[str] | None = None,
+) -> EETMatrix:
+    """Range-based EET generation (Ali et al. 2000, §III-A).
+
+    ``task_range`` (R_task) controls how different task types are from each
+    other; ``machine_range`` (R_machine) controls machine heterogeneity
+    (R_machine = 1 ⇒ homogeneous columns up to the common task baseline).
+    """
+    if n_task_types < 1 or n_machine_types < 1:
+        raise ConfigurationError("matrix dimensions must be >= 1")
+    if task_range < 1 or machine_range < 1:
+        raise ConfigurationError("ranges must be >= 1 (multiplicative U(1, R))")
+    rng = make_rng(seed)
+    baselines = rng.uniform(1.0, task_range, size=(n_task_types, 1))
+    factors = rng.uniform(1.0, machine_range, size=(n_task_types, n_machine_types))
+    matrix = make_consistency(baselines * factors, consistency, rng)
+    tnames, mnames = _names(
+        n_task_types, n_machine_types, task_type_names, machine_type_names
+    )
+    return EETMatrix(matrix, tnames, mnames)
+
+
+def _gamma_with_cov(
+    rng: np.random.Generator, mean: np.ndarray | float, cov: float, size
+) -> np.ndarray:
+    """Gamma draws parameterised by mean and coefficient of variation."""
+    if cov <= 0:
+        # Degenerate: zero variance.
+        return np.broadcast_to(np.asarray(mean, dtype=float), size).copy()
+    shape = 1.0 / cov**2
+    scale = np.asarray(mean, dtype=float) * cov**2
+    return rng.gamma(shape, scale, size=size)
+
+
+def generate_eet_cvb(
+    n_task_types: int,
+    n_machine_types: int,
+    *,
+    mean_task: float = 30.0,
+    v_task: float = 0.6,
+    v_machine: float = 0.5,
+    consistency: Consistency = "inconsistent",
+    seed: int | None | np.random.Generator = None,
+    task_type_names: Sequence[str] | None = None,
+    machine_type_names: Sequence[str] | None = None,
+    floor: float = 1e-3,
+) -> EETMatrix:
+    """Coefficient-of-variation-based EET generation (Ali et al. 2000, §III-B).
+
+    ``v_task`` expresses task heterogeneity, ``v_machine`` machine
+    heterogeneity. ``v_machine = 0`` yields a perfectly homogeneous system —
+    the knob used to build Fig-5's homogeneous configuration from the same
+    pipeline as Fig-6's heterogeneous one.
+    """
+    if n_task_types < 1 or n_machine_types < 1:
+        raise ConfigurationError("matrix dimensions must be >= 1")
+    if mean_task <= 0:
+        raise ConfigurationError(f"mean_task must be positive, got {mean_task}")
+    if v_task < 0 or v_machine < 0:
+        raise ConfigurationError("CoVs must be >= 0")
+    rng = make_rng(seed)
+    q = _gamma_with_cov(rng, mean_task, v_task, size=(n_task_types, 1))
+    q = np.maximum(q, floor)
+    matrix = _gamma_with_cov(
+        rng, np.repeat(q, n_machine_types, axis=1), v_machine,
+        size=(n_task_types, n_machine_types),
+    )
+    matrix = np.maximum(matrix, floor)
+    matrix = make_consistency(matrix, consistency, rng)
+    tnames, mnames = _names(
+        n_task_types, n_machine_types, task_type_names, machine_type_names
+    )
+    return EETMatrix(matrix, tnames, mnames)

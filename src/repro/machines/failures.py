@@ -1,0 +1,90 @@
+"""Machine failure injection (robustness extension, DESIGN.md S6/S12).
+
+Heterogeneous systems research on robustness (the authors' own refs [8],
+[10], [14] study robustness of heterogeneous systems) needs fault injection:
+machines crash and recover, and the scheduler must absorb it. The model:
+
+* each machine alternates UP and DOWN phases; UP durations are exponential
+  with mean ``mtbf`` (mean time between failures), DOWN durations exponential
+  with mean ``mttr`` (mean time to repair), optionally overridden per machine
+  type;
+* when a machine fails, its running task and queued tasks are **requeued**
+  into the batch queue (retry counters incremented) — they compete again at
+  the next scheduling pass; deadlines keep ticking, so a crash near a
+  deadline still costs the task its life via the normal cancel path;
+* a failed machine draws no power; downtime is metered separately
+  (``EnergyMeter.off_time``) so utilisation and availability stay separable.
+
+Expected steady-state availability is mtbf / (mtbf + mttr).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+__all__ = ["FailureModel"]
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Exponential failure/repair process parameters.
+
+    Attributes
+    ----------
+    mtbf:
+        Mean UP duration (seconds) before a failure.
+    mttr:
+        Mean DOWN duration (seconds) until repair.
+    per_machine_type:
+        Optional ``{machine_type_name: (mtbf, mttr)}`` overrides.
+    """
+
+    mtbf: float
+    mttr: float
+    per_machine_type: Mapping[str, tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if self.mtbf <= 0 or self.mttr <= 0:
+            raise ConfigurationError(
+                f"mtbf and mttr must be positive (got {self.mtbf}, {self.mttr})"
+            )
+        for name, (up, down) in self.per_machine_type.items():
+            if up <= 0 or down <= 0:
+                raise ConfigurationError(
+                    f"override for {name!r}: mtbf/mttr must be positive"
+                )
+
+    def parameters_for(self, machine: "Machine") -> tuple[float, float]:
+        """(mtbf, mttr) effective for *machine*."""
+        return self.per_machine_type.get(
+            machine.machine_type.name, (self.mtbf, self.mttr)
+        )
+
+    def sample_uptime(
+        self, machine: "Machine", rng: np.random.Generator
+    ) -> float:
+        """Draw the next UP duration for *machine*."""
+        mtbf, _ = self.parameters_for(machine)
+        return float(rng.exponential(mtbf))
+
+    def sample_downtime(
+        self, machine: "Machine", rng: np.random.Generator
+    ) -> float:
+        """Draw the next DOWN duration for *machine*."""
+        _, mttr = self.parameters_for(machine)
+        return float(rng.exponential(mttr))
+
+    def expected_availability(self, machine: "Machine") -> float:
+        """Steady-state fraction of time *machine* is up."""
+        mtbf, mttr = self.parameters_for(machine)
+        return mtbf / (mtbf + mttr)

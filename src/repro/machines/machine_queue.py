@@ -1,0 +1,96 @@
+"""Bounded FIFO machine queue (the "machine queue" boxes of Fig. 1).
+
+"The machine queue size is limited to infinite for immediate policies, but can
+be changed for batch policies" (Fig. 3). Capacity counts *queued* tasks only —
+the running task does not occupy a slot, matching the paper's GUI where the
+running task sits inside the machine, not its queue.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterator
+
+from ..core.errors import ConfigurationError, SimulationStateError
+from ..tasks.task import Task
+
+__all__ = ["MachineQueue", "UNBOUNDED"]
+
+#: Sentinel capacity meaning "no limit" (immediate-mode default).
+UNBOUNDED = math.inf
+
+
+class MachineQueue:
+    """FIFO of tasks waiting on one machine, with optional capacity."""
+
+    def __init__(self, capacity: float = UNBOUNDED) -> None:
+        if capacity != UNBOUNDED:
+            if capacity < 0 or int(capacity) != capacity:
+                raise ConfigurationError(
+                    f"machine queue capacity must be a non-negative integer "
+                    f"or UNBOUNDED, got {capacity}"
+                )
+        self._capacity = capacity
+        self._queue: deque[Task] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def is_bounded(self) -> bool:
+        return self._capacity != UNBOUNDED
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._queue)
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._queue
+
+    @property
+    def free_slots(self) -> float:
+        """Remaining capacity (inf when unbounded)."""
+        if not self.is_bounded:
+            return UNBOUNDED
+        return self._capacity - len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        return self.free_slots <= 0
+
+    def push(self, task: Task) -> None:
+        """Append *task*; raises if the queue is saturated."""
+        if self.is_full:
+            raise SimulationStateError(
+                f"machine queue saturated (capacity {self._capacity}); "
+                f"cannot enqueue task {task.id}"
+            )
+        self._queue.append(task)
+
+    def pop(self) -> Task:
+        """Remove and return the head task."""
+        if not self._queue:
+            raise SimulationStateError("pop from an empty machine queue")
+        return self._queue.popleft()
+
+    def peek(self) -> Task | None:
+        """Head task without removal (None when empty)."""
+        return self._queue[0] if self._queue else None
+
+    def remove(self, task: Task) -> bool:
+        """Remove a specific task (deadline drop while queued). False if absent."""
+        try:
+            self._queue.remove(task)
+            return True
+        except ValueError:
+            return False
+
+    def clear(self) -> list[Task]:
+        """Empty the queue, returning the evicted tasks in order."""
+        out = list(self._queue)
+        self._queue.clear()
+        return out

@@ -1,0 +1,64 @@
+"""Machine types — columns of the EET matrix with physical attributes.
+
+A machine *type* (e.g. "x86-CPU", "A100-GPU", "edge-FPGA") binds an EET column
+to a power profile and optional capacities. Multiple :class:`Machine`
+instances may share one type — the standard way to model a cluster with
+several replicas of each node class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+from .power import PowerProfile
+
+__all__ = ["MachineType"]
+
+
+@dataclass(frozen=True)
+class MachineType:
+    """A class of machines sharing an EET column.
+
+    Attributes
+    ----------
+    name:
+        Column name in the EET matrix.
+    index:
+        Column index in the EET matrix.
+    power:
+        Electrical profile used by the energy meter.
+    memory_capacity:
+        MB of memory available to queued+running tasks (memory extension;
+        0 = unconstrained).
+    network_latency / network_bandwidth:
+        Link characteristics from the scheduler to machines of this type
+        (communication extension; bandwidth in MB/s, 0 bandwidth =
+        latency-only links).
+    """
+
+    name: str
+    index: int
+    power: PowerProfile = field(default_factory=PowerProfile)
+    memory_capacity: float = 0.0
+    network_latency: float = 0.0
+    network_bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("machine type name must be non-empty")
+        if self.index < 0:
+            raise ConfigurationError(
+                f"machine type {self.name!r}: index must be >= 0"
+            )
+        if self.memory_capacity < 0:
+            raise ConfigurationError(
+                f"machine type {self.name!r}: memory_capacity must be >= 0"
+            )
+        if self.network_latency < 0 or self.network_bandwidth < 0:
+            raise ConfigurationError(
+                f"machine type {self.name!r}: network parameters must be >= 0"
+            )
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,37 @@
+"""Metrics, reports, energy accounting and statistics helpers."""
+
+from .collector import MetricsCollector, SummaryMetrics
+from .comparison import PolicyComparison, compare_policies
+from .energy import EnergyBreakdown, energy_breakdown
+from .event_log import EventLog, EventRecord
+from .queueing import (
+    md1_mean_wait,
+    mg1_mean_wait,
+    mm1_mean_in_system,
+    mm1_mean_wait,
+    utilization,
+)
+from .reports import Report, ReportBundle
+from .stats import SummaryStats, confidence_interval, jain_fairness, summarize
+
+__all__ = [
+    "MetricsCollector",
+    "SummaryMetrics",
+    "Report",
+    "ReportBundle",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "SummaryStats",
+    "summarize",
+    "confidence_interval",
+    "jain_fairness",
+    "PolicyComparison",
+    "compare_policies",
+    "EventLog",
+    "EventRecord",
+    "utilization",
+    "mg1_mean_wait",
+    "md1_mean_wait",
+    "mm1_mean_wait",
+    "mm1_mean_in_system",
+]

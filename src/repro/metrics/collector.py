@@ -1,0 +1,212 @@
+"""Metrics collection: the raw material of every report.
+
+The simulator feeds the collector with lifecycle notifications; at the end of
+a run the collector produces columnar task records, machine records and the
+summary — the data behind the paper's Full/Task/Machine/Summary reports and
+behind the completion-percentage bar charts of Figures 5–7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..core.errors import ReportError
+from ..tasks.task import DropStage, Task, TaskStatus
+from .stats import jain_fairness
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machines.cluster import Cluster
+
+__all__ = ["MetricsCollector", "SummaryMetrics"]
+
+
+@dataclass(frozen=True)
+class SummaryMetrics:
+    """Aggregate outcome of one simulation run (the Summary report body)."""
+
+    total_tasks: int
+    completed: int
+    cancelled: int
+    missed: int
+    completion_rate: float
+    cancellation_rate: float
+    miss_rate: float
+    on_time: int
+    on_time_rate: float
+    makespan: float
+    total_energy: float
+    idle_energy: float
+    busy_energy: float
+    energy_per_completed_task: float
+    mean_wait_time: float
+    mean_response_time: float
+    throughput: float
+    mean_utilization: float
+    completion_rate_by_type: dict[str, float] = field(default_factory=dict)
+    fairness_index: float = 1.0
+
+    def as_dict(self) -> dict:
+        out = {
+            k: v
+            for k, v in self.__dict__.items()
+            if k != "completion_rate_by_type"
+        }
+        for name, rate in sorted(self.completion_rate_by_type.items()):
+            out[f"completion_rate[{name}]"] = rate
+        return out
+
+
+class MetricsCollector:
+    """Accumulates task outcomes and snapshots machine counters."""
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+        self._seen: set[int] = set()
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def record_terminal(self, task: Task) -> None:
+        """Register a task that reached a terminal state."""
+        if not task.status.is_terminal:
+            raise ReportError(
+                f"task {task.id} recorded before reaching a terminal state "
+                f"({task.status.name})"
+            )
+        if task.id in self._seen:
+            raise ReportError(f"task {task.id} recorded twice")
+        self._seen.add(task.id)
+        self._tasks.append(task)
+
+    @property
+    def recorded(self) -> int:
+        return len(self._tasks)
+
+    def tasks(self) -> list[Task]:
+        """All recorded tasks, by id (stable across runs with equal seeds)."""
+        return sorted(self._tasks, key=lambda t: t.id)
+
+    # -- record tables -------------------------------------------------------------
+
+    def task_records(self) -> list[dict]:
+        """One dict per task — the Task report rows."""
+        rows = []
+        for t in self.tasks():
+            rows.append(
+                {
+                    "task_id": t.id,
+                    "task_type": t.task_type.name,
+                    "arrival_time": t.arrival_time,
+                    "deadline": t.deadline,
+                    "status": t.status.value,
+                    "machine": t.machine.name if t.machine is not None else "",
+                    "assigned_time": _opt(t.assigned_time),
+                    "start_time": _opt(t.start_time),
+                    "completion_time": _opt(t.completion_time),
+                    "missed_time": _opt(t.missed_time),
+                    "cancelled_time": _opt(t.cancelled_time),
+                    "drop_stage": t.drop_stage.value if t.drop_stage else "",
+                    "execution_time": _opt(t.execution_time),
+                    "wait_time": _opt(t.wait_time),
+                    "response_time": _opt(t.response_time),
+                    "energy": _opt(t.energy),
+                    "on_time": t.on_time,
+                }
+            )
+        return rows
+
+    def machine_records(self, cluster: "Cluster") -> list[dict]:
+        """One dict per machine — the Machine report rows."""
+        rows = []
+        for m in cluster:
+            meter = m.energy
+            rows.append(
+                {
+                    "machine_id": m.id,
+                    "machine": m.name,
+                    "machine_type": m.machine_type.name,
+                    "completed": m.completed_count,
+                    "missed": m.missed_count,
+                    "busy_time": meter.busy_time,
+                    "idle_time": meter.idle_time,
+                    "utilization": meter.utilization(),
+                    "idle_energy": meter.idle_energy,
+                    "busy_energy": meter.busy_energy,
+                    "total_energy": meter.total_energy,
+                }
+            )
+        return rows
+
+    # -- summary ----------------------------------------------------------------------
+
+    def summary(self, cluster: "Cluster", *, end_time: float) -> SummaryMetrics:
+        """Aggregate the run. ``end_time`` is the simulation clock at finish."""
+        tasks = self.tasks()
+        total = len(tasks)
+        completed = sum(1 for t in tasks if t.status is TaskStatus.COMPLETED)
+        cancelled = sum(1 for t in tasks if t.status is TaskStatus.CANCELLED)
+        missed = sum(1 for t in tasks if t.status is TaskStatus.MISSED)
+        on_time = sum(1 for t in tasks if t.on_time)
+
+        waits = [t.wait_time for t in tasks if t.wait_time is not None]
+        responses = [t.response_time for t in tasks if t.response_time is not None]
+        completions = [
+            t.completion_time for t in tasks if t.completion_time is not None
+        ]
+        makespan = max(completions) if completions else 0.0
+
+        idle_energy = sum(m.energy.idle_energy for m in cluster)
+        busy_energy = sum(m.energy.busy_energy for m in cluster)
+        total_energy = idle_energy + busy_energy
+
+        by_type_total: dict[str, int] = {}
+        by_type_done: dict[str, int] = {}
+        for t in tasks:
+            name = t.task_type.name
+            by_type_total[name] = by_type_total.get(name, 0) + 1
+            if t.status is TaskStatus.COMPLETED:
+                by_type_done[name] = by_type_done.get(name, 0) + 1
+        rate_by_type = {
+            name: by_type_done.get(name, 0) / count
+            for name, count in by_type_total.items()
+        }
+        fairness = (
+            jain_fairness(list(rate_by_type.values())) if rate_by_type else 1.0
+        )
+
+        utils = [m.energy.utilization() for m in cluster]
+        return SummaryMetrics(
+            total_tasks=total,
+            completed=completed,
+            cancelled=cancelled,
+            missed=missed,
+            completion_rate=completed / total if total else 0.0,
+            cancellation_rate=cancelled / total if total else 0.0,
+            miss_rate=missed / total if total else 0.0,
+            on_time=on_time,
+            on_time_rate=on_time / total if total else 0.0,
+            makespan=makespan,
+            total_energy=total_energy,
+            idle_energy=idle_energy,
+            busy_energy=busy_energy,
+            energy_per_completed_task=(
+                total_energy / completed if completed else 0.0
+            ),
+            mean_wait_time=sum(waits) / len(waits) if waits else 0.0,
+            mean_response_time=(
+                sum(responses) / len(responses) if responses else 0.0
+            ),
+            throughput=completed / end_time if end_time > 0 else 0.0,
+            mean_utilization=sum(utils) / len(utils) if utils else 0.0,
+            completion_rate_by_type=rate_by_type,
+            fairness_index=fairness,
+        )
+
+    def reset(self) -> None:
+        self._tasks.clear()
+        self._seen.clear()
+
+
+def _opt(value):
+    """None-to-empty-string for CSV friendliness."""
+    return "" if value is None else value

@@ -1,0 +1,66 @@
+"""Energy accounting across a cluster.
+
+Aggregates the per-machine :class:`~repro.machines.power.EnergyMeter` readings
+into the quantities the paper's energy studies use: total/idle/busy energy,
+per-machine-type breakdowns and efficiency metrics (energy per completed
+task), feeding the E-X3 ablation and the energy columns of the reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machines.cluster import Cluster
+
+__all__ = ["EnergyBreakdown", "energy_breakdown"]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Cluster-level energy decomposition (Joules)."""
+
+    total: float
+    idle: float
+    busy: float
+    by_machine: dict[str, float]
+    by_machine_type: dict[str, float]
+
+    @property
+    def idle_fraction(self) -> float:
+        """Share of energy burnt while idle (the waste a scheduler can cut)."""
+        return self.idle / self.total if self.total > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        out = {
+            "total_energy": self.total,
+            "idle_energy": self.idle,
+            "busy_energy": self.busy,
+            "idle_fraction": self.idle_fraction,
+        }
+        for name, value in sorted(self.by_machine_type.items()):
+            out[f"energy[{name}]"] = value
+        return out
+
+
+def energy_breakdown(cluster: "Cluster") -> EnergyBreakdown:
+    """Compute the energy decomposition of a (finished) cluster."""
+    idle = 0.0
+    busy = 0.0
+    by_machine: dict[str, float] = {}
+    by_type: dict[str, float] = {}
+    for machine in cluster:
+        meter = machine.energy
+        idle += meter.idle_energy
+        busy += meter.busy_energy
+        by_machine[machine.name] = meter.total_energy
+        type_name = machine.machine_type.name
+        by_type[type_name] = by_type.get(type_name, 0.0) + meter.total_energy
+    return EnergyBreakdown(
+        total=idle + busy,
+        idle=idle,
+        busy=busy,
+        by_machine=by_machine,
+        by_machine_type=by_type,
+    )

@@ -1,0 +1,191 @@
+"""The report subsystem — Full, Task, Machine and Summary reports (§3).
+
+"Upon completion of a simulation within E2C, the user may view a report, and
+optionally, save the report as a CSV file. There is an option for a Full
+Report, Task Report, Machine Report, and Summary Report."
+
+Every report is a :class:`Report`: ordered column names + row dicts, with
+``to_csv`` / ``to_text`` / ``to_dicts`` exporters. :class:`ReportBundle`
+mirrors the GUI's report menu over a finished simulation result.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence, TextIO
+
+from ..core.errors import ReportError
+
+__all__ = ["Report", "ReportBundle"]
+
+
+@dataclass
+class Report:
+    """A named tabular report."""
+
+    name: str
+    columns: list[str]
+    rows: list[dict]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ReportError(f"report {self.name!r} has no columns")
+        for i, row in enumerate(self.rows):
+            missing = [c for c in self.columns if c not in row]
+            if missing:
+                raise ReportError(
+                    f"report {self.name!r} row {i} missing columns {missing}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_dicts(self) -> list[dict]:
+        """Rows restricted (and ordered) to the report's columns."""
+        return [{c: row[c] for c in self.columns} for row in self.rows]
+
+    def to_csv(self, target: str | Path | TextIO | None = None) -> str:
+        """CSV text; optionally written to a path/stream."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(
+            buffer, fieldnames=self.columns, extrasaction="ignore",
+            lineterminator="\n",
+        )
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({c: _fmt(row[c]) for c in self.columns})
+        text = buffer.getvalue()
+        if target is not None:
+            if isinstance(target, (str, Path)):
+                Path(target).write_text(text, encoding="utf-8")
+            else:
+                target.write(text)
+        return text
+
+    def to_text(self, max_col_width: int = 24) -> str:
+        """Fixed-width console rendering."""
+        widths = []
+        for c in self.columns:
+            body = max((len(_fmt(r[c])) for r in self.rows), default=0)
+            widths.append(min(max(len(c), body), max_col_width))
+        header = "  ".join(c[:w].ljust(w) for c, w in zip(self.columns, widths))
+        rule = "  ".join("-" * w for w in widths)
+        lines = [f"== {self.name} ==", header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _fmt(row[c])[:w].ljust(w) for c, w in zip(self.columns, widths)
+                )
+            )
+        return "\n".join(lines)
+
+
+_TASK_COLUMNS = [
+    "task_id", "task_type", "arrival_time", "deadline", "status", "machine",
+    "start_time", "completion_time", "missed_time", "cancelled_time",
+    "wait_time", "response_time", "on_time",
+]
+
+_FULL_COLUMNS = [
+    "task_id", "task_type", "arrival_time", "deadline", "status", "machine",
+    "machine_type", "assigned_time", "start_time", "completion_time",
+    "missed_time", "cancelled_time", "drop_stage", "execution_time",
+    "wait_time", "response_time", "energy", "on_time",
+]
+
+_MACHINE_COLUMNS = [
+    "machine_id", "machine", "machine_type", "completed", "missed",
+    "busy_time", "idle_time", "utilization", "idle_energy", "busy_energy",
+    "total_energy",
+]
+
+
+class ReportBundle:
+    """The four E2C reports computed from collector outputs.
+
+    Parameters
+    ----------
+    task_records / machine_records / summary:
+        Outputs of :class:`~repro.metrics.collector.MetricsCollector` and
+        :meth:`~repro.metrics.collector.MetricsCollector.summary`.
+    """
+
+    def __init__(
+        self,
+        task_records: Sequence[Mapping],
+        machine_records: Sequence[Mapping],
+        summary: Mapping,
+    ) -> None:
+        self._tasks = [dict(r) for r in task_records]
+        self._machines = [dict(r) for r in machine_records]
+        self._summary = dict(summary)
+        machine_type_of = {
+            m["machine"]: m["machine_type"] for m in self._machines
+        }
+        for row in self._tasks:
+            row.setdefault(
+                "machine_type", machine_type_of.get(row.get("machine", ""), "")
+            )
+
+    # -- the four report kinds ---------------------------------------------------
+
+    def task_report(self) -> Report:
+        """Task-centric view (per-task timing and outcome)."""
+        return Report("Task Report", list(_TASK_COLUMNS), self._tasks)
+
+    def machine_report(self) -> Report:
+        """Machine-centric view (utilization, counters, energy)."""
+        return Report("Machine Report", list(_MACHINE_COLUMNS), self._machines)
+
+    def summary_report(self) -> Report:
+        """Key/value aggregate of the whole run."""
+        rows = [
+            {"metric": k, "value": v} for k, v in self._summary.items()
+        ]
+        return Report("Summary Report", ["metric", "value"], rows)
+
+    def full_report(self) -> Report:
+        """Everything about every task, joined with its machine's type."""
+        return Report("Full Report", list(_FULL_COLUMNS), self._tasks)
+
+    def by_name(self, name: str) -> Report:
+        """Report lookup matching the GUI menu labels (case-insensitive)."""
+        key = name.strip().lower().replace(" report", "")
+        table = {
+            "task": self.task_report,
+            "machine": self.machine_report,
+            "summary": self.summary_report,
+            "full": self.full_report,
+        }
+        if key not in table:
+            raise ReportError(
+                f"unknown report {name!r}; options: Full, Task, Machine, Summary"
+            )
+        return table[key]()
+
+    def save_all(self, directory: str | Path, prefix: str = "") -> list[Path]:
+        """Write all four reports as CSVs into *directory*; returns the paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for label, factory in (
+            ("full", self.full_report),
+            ("task", self.task_report),
+            ("machine", self.machine_report),
+            ("summary", self.summary_report),
+        ):
+            path = directory / f"{prefix}{label}_report.csv"
+            factory().to_csv(path)
+            paths.append(path)
+        return paths
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

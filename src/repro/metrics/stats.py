@@ -1,0 +1,114 @@
+"""Statistics helpers used by reports, comparisons and the survey analysis.
+
+Small, dependency-light functions: summary statistics, Student-t confidence
+intervals (for replicated experiment series) and Jain's fairness index (used
+to quantify FELARE's cross-task-type fairness).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "confidence_interval",
+    "jain_fairness",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Summary statistics of a non-empty sample (ddof=1 std; 0 when n=1)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return SummaryStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )
+
+
+# Two-sided Student-t 97.5% quantiles for small df; ~1.96 beyond the table.
+_T_975 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093,
+    20: 2.086, 25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def _t_quantile(df: int) -> float:
+    if df <= 0:
+        raise ValueError("confidence interval needs at least 2 samples")
+    keys = sorted(_T_975)
+    for k in keys:
+        if df <= k:
+            return _T_975[k]
+    return 1.96
+
+
+def confidence_interval(
+    values: Sequence[float], level: float = 0.95
+) -> tuple[float, float]:
+    """Two-sided Student-t CI of the mean (95% only; table-based, no scipy).
+
+    Returns (low, high); degenerate (mean, mean) for a single sample.
+    """
+    if not math.isclose(level, 0.95):
+        raise ValueError("only the 95% level is supported")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot build a CI from an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return (mean, mean)
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    half = _t_quantile(arr.size - 1) * sem
+    return (mean - half, mean + half)
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n·Σx²) ∈ (0, 1]; 1 = perfectly fair.
+
+    All-zero inputs count as perfectly fair (nothing to be unfair about).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("fairness of an empty sample is undefined")
+    if np.any(arr < 0):
+        raise ValueError("Jain's index requires non-negative values")
+    denom = arr.size * float((arr**2).sum())
+    if denom == 0:
+        return 1.0
+    return float(arr.sum()) ** 2 / denom

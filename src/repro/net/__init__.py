@@ -1,0 +1,6 @@
+"""Communication extension: star topology and transfer-delay model."""
+
+from .topology import Link, StarTopology
+from .transfer import output_return_delay, transfer_delay
+
+__all__ = ["Link", "StarTopology", "transfer_delay", "output_return_delay"]

@@ -1,0 +1,77 @@
+"""Star topology description for the communication extension.
+
+E2C's architecture (Fig. 1) is a star: one scheduler node fanning out to all
+machines. :class:`StarTopology` is the declarative description — per
+machine-type link latency and bandwidth — that plugs into
+:meth:`repro.core.config.Scenario` (its ``network`` field) and feeds
+:func:`repro.net.transfer.transfer_delay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["Link", "StarTopology"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """One scheduler→machine-type link."""
+
+    latency: float = 0.0       # seconds
+    bandwidth: float = 0.0     # MB/s; 0 = latency-only link
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be >= 0: {self.latency}")
+        if self.bandwidth < 0:
+            raise ConfigurationError(f"bandwidth must be >= 0: {self.bandwidth}")
+
+    def delay_for(self, megabytes: float) -> float:
+        """Transfer time of a payload over this link."""
+        if megabytes < 0:
+            raise ConfigurationError(f"payload must be >= 0: {megabytes}")
+        if self.bandwidth > 0 and megabytes > 0:
+            return self.latency + megabytes / self.bandwidth
+        return self.latency
+
+
+@dataclass
+class StarTopology:
+    """Scheduler-to-machines star with per-machine-type links."""
+
+    links: dict[str, Link] = field(default_factory=dict)
+    default: Link = field(default_factory=Link)
+
+    def link_for(self, machine_type_name: str) -> Link:
+        return self.links.get(machine_type_name, self.default)
+
+    def set_link(
+        self, machine_type_name: str, latency: float, bandwidth: float = 0.0
+    ) -> "StarTopology":
+        self.links[machine_type_name] = Link(latency, bandwidth)
+        return self
+
+    def as_scenario_network(self) -> dict[str, tuple[float, float]]:
+        """The ``network=`` mapping a Scenario expects."""
+        return {
+            name: (link.latency, link.bandwidth)
+            for name, link in self.links.items()
+        }
+
+    @classmethod
+    def uniform(
+        cls,
+        machine_type_names: Mapping[str, object] | list[str],
+        latency: float,
+        bandwidth: float = 0.0,
+    ) -> "StarTopology":
+        """Same link characteristics toward every machine type."""
+        names = list(machine_type_names)
+        topo = cls()
+        for name in names:
+            topo.set_link(str(name), latency, bandwidth)
+        return topo

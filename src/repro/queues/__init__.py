@@ -1,0 +1,5 @@
+"""Arrival-side queueing (the batch queue of Fig. 1)."""
+
+from .batch_queue import BatchQueue
+
+__all__ = ["BatchQueue"]

@@ -1,0 +1,37 @@
+"""Scheduling framework: policy ABCs, registry, and the built-in policies.
+
+Importing this package registers every built-in policy, so
+``create_scheduler("MECT")`` works after ``import repro.scheduling``.
+"""
+
+from . import batch, immediate  # noqa: F401  (import for registration side effect)
+from .base import (
+    Assignment,
+    BatchScheduler,
+    ImmediateScheduler,
+    Scheduler,
+    SchedulingMode,
+)
+from .context import LiveTypeStats, SchedulingContext
+from .overhead import SchedulingOverhead
+from .registry import (
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+    scheduler_class,
+)
+
+__all__ = [
+    "Assignment",
+    "Scheduler",
+    "ImmediateScheduler",
+    "BatchScheduler",
+    "SchedulingMode",
+    "SchedulingContext",
+    "LiveTypeStats",
+    "SchedulingOverhead",
+    "register_scheduler",
+    "create_scheduler",
+    "scheduler_class",
+    "available_schedulers",
+]

@@ -1,0 +1,24 @@
+"""Batch-mode scheduling policies.
+
+Paper policies: :class:`MinMinScheduler` (MM), :class:`MMUScheduler`,
+:class:`MSDScheduler`, :class:`ELAREScheduler`, :class:`FELAREScheduler`.
+Classic extensions from Maheswaran et al. [13]: MaxMin, Sufferage.
+"""
+
+from .elare import ELAREScheduler
+from .felare import FELAREScheduler
+from .maxmin import MaxMinScheduler
+from .minmin import MinMinScheduler
+from .mmu import MMUScheduler
+from .msd import MSDScheduler
+from .sufferage import SufferageScheduler
+
+__all__ = [
+    "MinMinScheduler",
+    "MaxMinScheduler",
+    "SufferageScheduler",
+    "MMUScheduler",
+    "MSDScheduler",
+    "ELAREScheduler",
+    "FELAREScheduler",
+]

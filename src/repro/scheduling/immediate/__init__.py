@@ -1,0 +1,26 @@
+"""Immediate-mode scheduling policies.
+
+Paper policies: :class:`FCFSScheduler`, :class:`MECTScheduler`,
+:class:`MEETScheduler`. Classic extensions from Maheswaran et al. [13]:
+OLB, RR, Random, KPB, SA.
+"""
+
+from .fcfs import FCFSScheduler
+from .kpb import KPBScheduler
+from .mect import MECTScheduler
+from .meet import MEETScheduler
+from .olb import OLBScheduler
+from .random_policy import RandomScheduler
+from .round_robin import RoundRobinScheduler
+from .switching import SwitchingScheduler
+
+__all__ = [
+    "FCFSScheduler",
+    "MECTScheduler",
+    "MEETScheduler",
+    "OLBScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "KPBScheduler",
+    "SwitchingScheduler",
+]

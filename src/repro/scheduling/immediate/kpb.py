@@ -1,0 +1,48 @@
+"""K-Percent Best (KPB) — classic baseline from [13].
+
+For each arriving task, restrict attention to the ⌈(k/100)·M⌉ machines with
+the smallest EET for its type, then map to the one among them with the
+minimum completion time. k = 100 reduces to MECT; k → 0 reduces to MEET; the
+sweet spot in between avoids both MEET's pile-up and MECT's willingness to
+put a task on a grossly unsuitable machine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...core.errors import ConfigurationError
+from ...machines.machine import Machine
+from ...tasks.task import Task
+from ..base import ImmediateScheduler
+from ..context import SchedulingContext
+from ..registry import register_scheduler
+
+__all__ = ["KPBScheduler"]
+
+
+@register_scheduler(aliases=("K-PERCENT-BEST",))
+class KPBScheduler(ImmediateScheduler):
+    """Min completion time within the k% best-EET machines."""
+
+    name = "KPB"
+    description = (
+        "K-Percent Best: minimum completion time within the k% of machines "
+        "with the best EET for the task."
+    )
+
+    def __init__(self, k: float = 50.0) -> None:
+        if not 0 < k <= 100:
+            raise ConfigurationError(f"k must be in (0, 100], got {k}")
+        self.k = float(k)
+
+    def choose_machine(self, task: Task, ctx: SchedulingContext) -> Machine:
+        eet = ctx.cluster.eet_vector(task)
+        n = len(ctx.cluster)
+        subset_size = max(1, math.ceil(self.k / 100.0 * n))
+        # Machines sorted by EET; stable ties toward low ids.
+        best = np.argsort(eet, kind="stable")[:subset_size]
+        completion = ctx.cluster.completion_times(task, ctx.now)[best]
+        return ctx.cluster.machines[int(best[int(np.argmin(completion))])]

@@ -1,0 +1,34 @@
+"""Minimum Expected Completion Time (MECT) — paper policy.
+
+The classic MCT heuristic of Maheswaran et al. [13]: the arriving task is
+mapped to the machine minimising ``ready_time + EET``, i.e. the earliest
+*finish*, balancing heterogeneity against current load. Ties break toward the
+lowest machine id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...machines.machine import Machine
+from ...tasks.task import Task
+from ..base import ImmediateScheduler
+from ..context import SchedulingContext
+from ..registry import register_scheduler
+
+__all__ = ["MECTScheduler"]
+
+
+@register_scheduler(aliases=("MCT", "MIN-EXPECTED-COMPLETION-TIME"))
+class MECTScheduler(ImmediateScheduler):
+    """argmin over machines of (ready time + EET of the task)."""
+
+    name = "MECT"
+    description = (
+        "Minimum Expected Completion Time: map to the machine finishing the "
+        "task earliest (ready time + EET)."
+    )
+
+    def choose_machine(self, task: Task, ctx: SchedulingContext) -> Machine:
+        completion = ctx.cluster.completion_times(task, ctx.now)
+        return ctx.cluster.machines[int(np.argmin(completion))]

@@ -1,0 +1,51 @@
+"""Minimum Expected Execution Time (MEET) — paper policy.
+
+The classic MET heuristic of Maheswaran et al. [13]: the arriving task goes
+to the machine with the smallest EET for its type, *ignoring load*. On
+heterogeneous systems this chases the fastest machine and can overload it;
+on a perfectly homogeneous system every machine ties, so the tie-break
+dominates behaviour. Faithful to the EET-table argmin of the original
+simulator, the default tie-break is the lowest machine id; pass
+``tie_break="ready_time"`` for the load-aware variant (useful as an ablation
+of why MET degenerates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.errors import ConfigurationError
+from ...machines.machine import Machine
+from ...tasks.task import Task
+from ..base import ImmediateScheduler
+from ..context import SchedulingContext
+from ..registry import register_scheduler
+
+__all__ = ["MEETScheduler"]
+
+
+@register_scheduler(aliases=("MET", "MIN-EXPECTED-EXECUTION-TIME"))
+class MEETScheduler(ImmediateScheduler):
+    """argmin over machines of EET, load-blind."""
+
+    name = "MEET"
+    description = (
+        "Minimum Expected Execution Time: map to the machine with the "
+        "smallest EET regardless of its load."
+    )
+
+    def __init__(self, tie_break: str = "index") -> None:
+        if tie_break not in ("index", "ready_time"):
+            raise ConfigurationError(
+                f"tie_break must be 'index' or 'ready_time', got {tie_break!r}"
+            )
+        self.tie_break = tie_break
+
+    def choose_machine(self, task: Task, ctx: SchedulingContext) -> Machine:
+        eet = ctx.cluster.eet_vector(task)
+        if self.tie_break == "index":
+            return ctx.cluster.machines[int(np.argmin(eet))]
+        best = eet.min()
+        candidates = np.flatnonzero(np.isclose(eet, best, rtol=1e-12, atol=0.0))
+        ready = ctx.ready_times()[candidates]
+        return ctx.cluster.machines[int(candidates[int(np.argmin(ready))])]

@@ -1,0 +1,27 @@
+"""Uniform-random mapping — the noise floor baseline.
+
+Every arriving task goes to a machine drawn uniformly at random from the
+cluster (seeded through the scheduling context, so runs stay reproducible).
+Any policy worth teaching should beat this.
+"""
+
+from __future__ import annotations
+
+from ...machines.machine import Machine
+from ...tasks.task import Task
+from ..base import ImmediateScheduler
+from ..context import SchedulingContext
+from ..registry import register_scheduler
+
+__all__ = ["RandomScheduler"]
+
+
+@register_scheduler
+class RandomScheduler(ImmediateScheduler):
+    """Uniform-random machine choice."""
+
+    name = "RANDOM"
+    description = "Uniform-random machine choice (noise-floor baseline)."
+
+    def choose_machine(self, task: Task, ctx: SchedulingContext) -> Machine:
+        return ctx.cluster.machines[int(ctx.rng.integers(len(ctx.cluster)))]

@@ -1,0 +1,35 @@
+"""Round-Robin (RR) — load-distribution baseline.
+
+Cycles through machines in id order regardless of load or EET. The simplest
+possible "fair to machines" policy; a useful classroom contrast with FCFS
+(load-aware, EET-blind) and MECT (load- and EET-aware).
+"""
+
+from __future__ import annotations
+
+from ...machines.machine import Machine
+from ...tasks.task import Task
+from ..base import ImmediateScheduler
+from ..context import SchedulingContext
+from ..registry import register_scheduler
+
+__all__ = ["RoundRobinScheduler"]
+
+
+@register_scheduler(aliases=("ROUNDROBIN", "ROUND-ROBIN"))
+class RoundRobinScheduler(ImmediateScheduler):
+    """Machine i, then i+1, ... modulo the cluster size."""
+
+    name = "RR"
+    description = "Round-Robin: cycle through machines in fixed order."
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose_machine(self, task: Task, ctx: SchedulingContext) -> Machine:
+        machine = ctx.cluster.machines[self._next % len(ctx.cluster)]
+        self._next += 1
+        return machine
+
+    def reset(self) -> None:
+        self._next = 0

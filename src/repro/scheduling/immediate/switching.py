@@ -1,0 +1,62 @@
+"""Switching Algorithm (SA) — classic baseline from [13].
+
+Alternates between MET (exploit the fastest machines) and MCT (rebalance
+load) based on the load-balance ratio r = min(ready) / max(ready):
+
+* in MCT mode, once the system is balanced (r ≥ r_high) switch to MET;
+* in MET mode, once imbalance grows (r ≤ r_low) switch back to MCT.
+
+Stateful; :meth:`reset` returns to MCT mode between runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.errors import ConfigurationError
+from ...machines.machine import Machine
+from ...tasks.task import Task
+from ..base import ImmediateScheduler
+from ..context import SchedulingContext
+from ..registry import register_scheduler
+
+__all__ = ["SwitchingScheduler"]
+
+
+@register_scheduler(aliases=("SWITCHING",))
+class SwitchingScheduler(ImmediateScheduler):
+    """Hysteresis switch between MET and MCT by load-balance ratio."""
+
+    name = "SA"
+    description = (
+        "Switching Algorithm: MET while the load stays balanced, MCT while "
+        "it is skewed (hysteresis thresholds r_low/r_high)."
+    )
+
+    def __init__(self, r_low: float = 0.6, r_high: float = 0.9) -> None:
+        if not 0 <= r_low <= r_high <= 1:
+            raise ConfigurationError(
+                f"need 0 <= r_low <= r_high <= 1; got {r_low}, {r_high}"
+            )
+        self.r_low = r_low
+        self.r_high = r_high
+        self._met_mode = False
+
+    def choose_machine(self, task: Task, ctx: SchedulingContext) -> Machine:
+        ready = ctx.ready_times()
+        max_ready = float(ready.max())
+        # All-idle systems are perfectly balanced by definition.
+        r = 1.0 if max_ready <= 0 else float(ready.min()) / max_ready
+        if self._met_mode and r <= self.r_low:
+            self._met_mode = False
+        elif not self._met_mode and r >= self.r_high:
+            self._met_mode = True
+
+        if self._met_mode:
+            choice = int(np.argmin(ctx.cluster.eet_vector(task)))
+        else:
+            choice = int(np.argmin(ctx.cluster.completion_times(task, ctx.now)))
+        return ctx.cluster.machines[choice]
+
+    def reset(self) -> None:
+        self._met_mode = False

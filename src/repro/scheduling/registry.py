@@ -1,0 +1,103 @@
+"""Scheduler registry — the plug-in point for custom policies (§3).
+
+The paper highlights that students and researchers can implement "a newly
+developed scheduling method and plug it into the system". Any subclass of
+:class:`~repro.scheduling.base.Scheduler` decorated with
+:func:`register_scheduler` becomes creatable by name (the GUI drop-down of
+Fig. 3 corresponds to :func:`available_schedulers`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Type
+
+from ..core.errors import ConfigurationError, UnknownSchedulerError
+from .base import Scheduler, SchedulingMode
+
+__all__ = [
+    "register_scheduler",
+    "create_scheduler",
+    "available_schedulers",
+    "scheduler_class",
+]
+
+_REGISTRY: dict[str, Type[Scheduler]] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_scheduler(
+    cls: Type[Scheduler] | None = None, *, aliases: Iterable[str] = ()
+):
+    """Class decorator adding a Scheduler to the registry.
+
+    Usage::
+
+        @register_scheduler(aliases=("MCT",))
+        class MECTScheduler(ImmediateScheduler):
+            name = "MECT"
+            ...
+    """
+
+    def apply(klass: Type[Scheduler]) -> Type[Scheduler]:
+        if not klass.name:
+            raise ConfigurationError(
+                f"{klass.__name__} must define a non-empty 'name'"
+            )
+        key = klass.name.upper()
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not klass:
+            raise ConfigurationError(
+                f"scheduler name {klass.name!r} already registered to "
+                f"{existing.__name__}"
+            )
+        _REGISTRY[key] = klass
+        for alias in aliases:
+            alias_key = alias.upper()
+            if alias_key in _REGISTRY:
+                raise ConfigurationError(
+                    f"alias {alias!r} collides with a registered scheduler name"
+                )
+            owner = _ALIASES.get(alias_key)
+            if owner is not None and owner != key:
+                raise ConfigurationError(
+                    f"alias {alias!r} already points to {owner}"
+                )
+            _ALIASES[alias_key] = key
+        return klass
+
+    if cls is not None:  # bare decorator form
+        return apply(cls)
+    return apply
+
+
+def scheduler_class(name: str) -> Type[Scheduler]:
+    """Resolve a scheduler class by name or alias (case-insensitive)."""
+    key = name.upper()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise UnknownSchedulerError(
+            f"unknown scheduler {name!r}; available: {available_schedulers()}"
+        ) from None
+
+
+def create_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by registry name with policy kwargs."""
+    klass = scheduler_class(name)
+    try:
+        return klass(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for scheduler {name!r}: {exc}"
+        ) from exc
+
+
+def available_schedulers(mode: SchedulingMode | None = None) -> list[str]:
+    """Registered scheduler names, optionally filtered by mode."""
+    names = [
+        name
+        for name, klass in _REGISTRY.items()
+        if mode is None or klass.mode is mode
+    ]
+    return sorted(names)

@@ -1,0 +1,94 @@
+"""Task types — the "applications" of the simulated system.
+
+The paper (§3): "A workload is defined as a large group of tasks where each
+task is a request for an application (task type)" — e.g. object detection,
+noise removal, image enhancement on a satellite-imaging system. A task type
+carries everything shared by its requests: a display name, a stable index into
+the EET matrix rows, deadline parameters and optional resource footprints used
+by the network/memory extensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["TaskType"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskType:
+    """An application class whose requests form the workload.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"T1"`` or ``"object_detection"``.
+        Must be unique within a scenario; used in CSV traces and reports.
+    index:
+        Row index of this type in the EET matrix.
+    relative_deadline:
+        Deadline offset added to each task's arrival time, in simulated
+        seconds. ``None`` means tasks of this type get it derived from the
+        EET matrix by the workload generator (``slack_factor`` model).
+    data_in / data_out:
+        Input/output payload sizes in MB; only used when the communication
+        extension is enabled (transfer delay = latency + size/bandwidth).
+    memory:
+        Resident memory footprint in MB; only used when the memory extension
+        is enabled.
+    """
+
+    name: str
+    index: int
+    relative_deadline: float | None = None
+    data_in: float = 0.0
+    data_out: float = 0.0
+    memory: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("task type name must be non-empty")
+        if self.index < 0:
+            raise ConfigurationError(
+                f"task type {self.name!r}: index must be >= 0, got {self.index}"
+            )
+        if self.relative_deadline is not None and self.relative_deadline <= 0:
+            raise ConfigurationError(
+                f"task type {self.name!r}: relative_deadline must be positive, "
+                f"got {self.relative_deadline}"
+            )
+        for attr in ("data_in", "data_out", "memory"):
+            value = getattr(self, attr)
+            if value < 0:
+                raise ConfigurationError(
+                    f"task type {self.name!r}: {attr} must be >= 0, got {value}"
+                )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def build_task_types(
+    names: list[str],
+    *,
+    relative_deadlines: list[float] | None = None,
+) -> list[TaskType]:
+    """Construct a consistently-indexed task-type list from plain names."""
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate task type names in {names}")
+    deadlines: list[float | None]
+    if relative_deadlines is None:
+        deadlines = [None] * len(names)
+    else:
+        if len(relative_deadlines) != len(names):
+            raise ConfigurationError(
+                "relative_deadlines must match names in length "
+                f"({len(relative_deadlines)} vs {len(names)})"
+            )
+        deadlines = list(relative_deadlines)
+    return [
+        TaskType(name=n, index=i, relative_deadline=d)
+        for i, (n, d) in enumerate(zip(names, deadlines))
+    ]

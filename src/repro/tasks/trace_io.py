@@ -1,0 +1,168 @@
+"""CSV trace I/O — the file formats of the E2C workload component (Fig. 2).
+
+Workload CSV columns (header required, extras preserved on round-trip):
+
+```
+task_id,task_type,arrival_time,deadline
+0,T1,0.00,4.80
+1,T3,0.35,6.10
+```
+
+``deadline`` may be omitted; then each task type must carry a
+``relative_deadline`` (or one is supplied via ``default_relative_deadline``).
+The EET CSV format lives in :mod:`repro.machines.eet` next to the matrix.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence, TextIO
+
+from ..core.errors import WorkloadError
+from .task import Task
+from .task_type import TaskType
+from .workload import Workload
+
+__all__ = ["read_workload_csv", "write_workload_csv", "workload_from_rows"]
+
+_REQUIRED = ("task_id", "task_type", "arrival_time")
+
+
+def _open_source(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        return open(source, "r", newline="", encoding="utf-8"), True
+    return source, False
+
+
+def read_workload_csv(
+    source: str | Path | TextIO,
+    task_types: Sequence[TaskType] | None = None,
+    *,
+    default_relative_deadline: float | None = None,
+) -> Workload:
+    """Parse a workload trace CSV into a :class:`Workload`.
+
+    Parameters
+    ----------
+    source:
+        Path or open text stream.
+    task_types:
+        The task-type universe; if None, types are inferred from the file in
+        first-appearance order (deadline column then becomes mandatory unless
+        ``default_relative_deadline`` is given).
+    default_relative_deadline:
+        Fallback ``deadline = arrival + default_relative_deadline`` for rows
+        lacking a deadline.
+    """
+    stream, owned = _open_source(source)
+    try:
+        reader = csv.DictReader(stream)
+        if reader.fieldnames is None:
+            raise WorkloadError("workload CSV is empty (no header)")
+        header = [h.strip() for h in reader.fieldnames]
+        missing = [c for c in _REQUIRED if c not in header]
+        if missing:
+            raise WorkloadError(
+                f"workload CSV missing required columns {missing}; header={header}"
+            )
+        has_deadline = "deadline" in header
+
+        rows = []
+        for lineno, raw in enumerate(reader, start=2):
+            row = {k.strip(): (v.strip() if v is not None else "") for k, v in raw.items() if k}
+            try:
+                rows.append(
+                    {
+                        "task_id": int(row["task_id"]),
+                        "task_type": row["task_type"],
+                        "arrival_time": float(row["arrival_time"]),
+                        "deadline": float(row["deadline"])
+                        if has_deadline and row.get("deadline", "") != ""
+                        else None,
+                    }
+                )
+            except (KeyError, ValueError) as exc:
+                raise WorkloadError(f"workload CSV line {lineno}: {exc}") from exc
+    finally:
+        if owned:
+            stream.close()
+
+    return workload_from_rows(
+        rows,
+        task_types=task_types,
+        default_relative_deadline=default_relative_deadline,
+    )
+
+
+def workload_from_rows(
+    rows: Sequence[Mapping],
+    *,
+    task_types: Sequence[TaskType] | None = None,
+    default_relative_deadline: float | None = None,
+) -> Workload:
+    """Assemble a Workload from parsed row dicts (see read_workload_csv)."""
+    if task_types is None:
+        seen: dict[str, int] = {}
+        for row in rows:
+            seen.setdefault(row["task_type"], len(seen))
+        task_types = [TaskType(name=n, index=i) for n, i in seen.items()]
+    by_name = {t.name: t for t in task_types}
+
+    tasks: list[Task] = []
+    for row in rows:
+        name = row["task_type"]
+        if name not in by_name:
+            raise WorkloadError(
+                f"task {row['task_id']}: unknown task type {name!r}; "
+                f"defined: {sorted(by_name)}"
+            )
+        task_type = by_name[name]
+        deadline = row.get("deadline")
+        if deadline is None:
+            rel = (
+                task_type.relative_deadline
+                if task_type.relative_deadline is not None
+                else default_relative_deadline
+            )
+            if rel is None:
+                raise WorkloadError(
+                    f"task {row['task_id']}: no deadline column and task type "
+                    f"{name!r} has no relative_deadline"
+                )
+            deadline = row["arrival_time"] + rel
+        tasks.append(
+            Task(
+                id=row["task_id"],
+                task_type=task_type,
+                arrival_time=row["arrival_time"],
+                deadline=deadline,
+            )
+        )
+    return Workload(task_types=list(task_types), tasks=tasks)
+
+
+def write_workload_csv(
+    workload: Workload, target: str | Path | TextIO | None = None
+) -> str:
+    """Serialise *workload* as CSV. Returns the CSV text; writes if given a target."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["task_id", "task_type", "arrival_time", "deadline"])
+    for task in workload:
+        writer.writerow(
+            [
+                task.id,
+                task.task_type.name,
+                f"{task.arrival_time:.9g}",
+                f"{task.deadline:.9g}",
+            ]
+        )
+    text = buffer.getvalue()
+    if target is not None:
+        if isinstance(target, (str, Path)):
+            Path(target).write_text(text, encoding="utf-8")
+        else:
+            target.write(text)
+    return text

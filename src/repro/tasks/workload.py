@@ -1,0 +1,184 @@
+"""Workload container: an ordered collection of tasks plus its task types.
+
+A :class:`Workload` owns the task-type list (the EET row space) and the tasks
+themselves, sorted by arrival time. It validates EET compatibility — the
+paper's rule that "there can be no task type within the workload that is not
+defined within the EET" — and offers summary statistics used by reports and
+the intensity calibrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
+
+from ..core.errors import IncompatibleWorkloadError, WorkloadError
+from .task import Task
+from .task_type import TaskType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machines.eet import EETMatrix
+
+__all__ = ["Workload"]
+
+
+@dataclass
+class Workload:
+    """A sorted batch of tasks over a fixed task-type universe."""
+
+    task_types: list[TaskType]
+    tasks: list[Task] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [t.name for t in self.task_types]
+        if len(set(names)) != len(names):
+            raise WorkloadError(f"duplicate task type names: {names}")
+        indices = sorted(t.index for t in self.task_types)
+        if indices != list(range(len(self.task_types))):
+            raise WorkloadError(
+                f"task type indices must be 0..n-1 without gaps, got {indices}"
+            )
+        self._by_name = {t.name: t for t in self.task_types}
+        self.tasks = sorted(self.tasks, key=lambda t: (t.arrival_time, t.id))
+        ids = [t.id for t in self.tasks]
+        if len(set(ids)) != len(ids):
+            raise WorkloadError("duplicate task ids in workload")
+        unknown = {
+            t.task_type.name for t in self.tasks if t.task_type.name not in self._by_name
+        }
+        if unknown:
+            raise IncompatibleWorkloadError(
+                f"tasks reference undefined task types: {sorted(unknown)}"
+            )
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def __getitem__(self, i: int) -> Task:
+        return self.tasks[i]
+
+    # -- lookups ---------------------------------------------------------------
+
+    def type_by_name(self, name: str) -> TaskType:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise IncompatibleWorkloadError(
+                f"unknown task type {name!r}; defined: {sorted(self._by_name)}"
+            ) from None
+
+    def counts_by_type(self) -> dict[str, int]:
+        counts = {t.name: 0 for t in self.task_types}
+        for task in self.tasks:
+            counts[task.task_type.name] += 1
+        return counts
+
+    # -- derived properties ------------------------------------------------------
+
+    @property
+    def makespan_window(self) -> tuple[float, float]:
+        """(first arrival, last arrival); (0, 0) when empty."""
+        if not self.tasks:
+            return (0.0, 0.0)
+        return (self.tasks[0].arrival_time, self.tasks[-1].arrival_time)
+
+    @property
+    def duration(self) -> float:
+        first, last = self.makespan_window
+        return last - first
+
+    def mean_arrival_rate(self) -> float:
+        """Empirical arrivals per second over the arrival window."""
+        if len(self.tasks) < 2 or self.duration == 0:
+            return 0.0
+        return (len(self.tasks) - 1) / self.duration
+
+    # -- validation / utilities --------------------------------------------------
+
+    def validate_against_eet(self, eet: "EETMatrix") -> None:
+        """Raise IncompatibleWorkloadError unless all types exist in *eet*.
+
+        Enforces the Fig-2 rule: "EET and Workload files must be compatible".
+        """
+        missing = [
+            t.name for t in self.task_types if not eet.has_task_type(t.name)
+        ]
+        if missing:
+            raise IncompatibleWorkloadError(
+                f"EET matrix does not define task types {missing}; "
+                f"it defines {eet.task_type_names}"
+            )
+
+    def fresh_copy(self) -> "Workload":
+        """Deep-copy tasks into pristine (CREATED) state for a re-run.
+
+        The simulator mutates tasks; Reset (the GUI button) needs a clean
+        workload to replay the same trace.
+        """
+        clones = [
+            Task(
+                id=t.id,
+                task_type=t.task_type,
+                arrival_time=t.arrival_time,
+                deadline=t.deadline,
+            )
+            for t in self.tasks
+        ]
+        return Workload(task_types=list(self.task_types), tasks=clones)
+
+    def scaled(self, time_factor: float) -> "Workload":
+        """Return a copy with arrivals & deadlines compressed by *time_factor*.
+
+        ``time_factor`` < 1 squeezes the same tasks into a shorter window —
+        an alternative way to raise intensity on a fixed trace.
+        """
+        if time_factor <= 0:
+            raise WorkloadError(f"time_factor must be positive, got {time_factor}")
+        clones = [
+            Task(
+                id=t.id,
+                task_type=t.task_type,
+                arrival_time=t.arrival_time * time_factor,
+                deadline=t.arrival_time * time_factor
+                + (t.deadline - t.arrival_time),
+            )
+            for t in self.tasks
+        ]
+        return Workload(task_types=list(self.task_types), tasks=clones)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        task_types: list[TaskType],
+        type_indices: Iterable[int],
+        arrival_times: Iterable[float],
+        deadlines: Iterable[float],
+        *,
+        id_offset: int = 0,
+    ) -> "Workload":
+        """Vectorised constructor from parallel arrays."""
+        type_idx = np.asarray(list(type_indices), dtype=int)
+        arrivals = np.asarray(list(arrival_times), dtype=float)
+        dls = np.asarray(list(deadlines), dtype=float)
+        if not (type_idx.shape == arrivals.shape == dls.shape):
+            raise WorkloadError("from_arrays: arrays must have identical length")
+        if type_idx.size and (type_idx.min() < 0 or type_idx.max() >= len(task_types)):
+            raise WorkloadError("from_arrays: task type index out of range")
+        order = np.argsort(arrivals, kind="stable")
+        tasks = [
+            Task(
+                id=id_offset + rank,
+                task_type=task_types[int(type_idx[i])],
+                arrival_time=float(arrivals[i]),
+                deadline=float(dls[i]),
+            )
+            for rank, i in enumerate(order)
+        ]
+        return cls(task_types=task_types, tasks=tasks)

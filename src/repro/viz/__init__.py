@@ -1,0 +1,17 @@
+"""Terminal visualization: bar charts, live system renderer, timelines."""
+
+from .animation import Animator
+from .barchart import BarChart, GroupedBarChart
+from .histogram import Histogram
+from .renderer import SystemRenderer
+from .timeline import TimelineChart, timeline_from_records
+
+__all__ = [
+    "BarChart",
+    "GroupedBarChart",
+    "Histogram",
+    "SystemRenderer",
+    "TimelineChart",
+    "timeline_from_records",
+    "Animator",
+]

@@ -1,0 +1,108 @@
+"""Terminal animation loop — "the GUI displays simulations in live time".
+
+Couples a :class:`~repro.core.controller.SimulationController` with a
+:class:`~repro.viz.renderer.SystemRenderer`: every processed event produces a
+frame (optionally throttled), redrawn in place with ANSI cursor control or
+appended as a scrolling log. Headless-safe: with ``stream=None`` frames are
+collected in memory (used by tests and by the examples when piped).
+"""
+
+from __future__ import annotations
+
+from typing import IO, Callable
+
+from ..core.controller import SimulationController
+from ..core.errors import ConfigurationError
+from ..core.events import Event
+from ..core.simulator import Simulator
+from .renderer import SystemRenderer
+
+__all__ = ["Animator"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+class Animator:
+    """Frame producer/driver for live simulation display."""
+
+    def __init__(
+        self,
+        factory: Callable[[], Simulator],
+        *,
+        renderer: SystemRenderer | None = None,
+        stream: IO[str] | None = None,
+        in_place: bool = False,
+        speed: float = 0.0,
+        frame_every: int = 1,
+        max_frames: int | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        factory:
+            Builds the simulator (passed to the controller; reusable by Reset).
+        renderer:
+            Frame renderer (defaults to a plain :class:`SystemRenderer`).
+        stream:
+            Output stream; None collects frames in :attr:`frames` instead.
+        in_place:
+            Redraw over the previous frame with ANSI clear (interactive
+            terminals); False appends frames (logs, pipes).
+        speed:
+            Simulated seconds per wall second (controller speed dial).
+        frame_every:
+            Render every N-th event (thin out dense simulations).
+        max_frames:
+            Stop collecting after this many frames (memory guard); the
+            simulation itself still runs to completion.
+        """
+        if frame_every < 1:
+            raise ConfigurationError(f"frame_every must be >= 1: {frame_every}")
+        self.renderer = renderer or SystemRenderer()
+        self.stream = stream
+        self.in_place = in_place
+        self.frame_every = frame_every
+        self.max_frames = max_frames
+        self.frames: list[str] = []
+        self._event_counter = 0
+        self.controller = SimulationController(
+            factory, speed=speed, frame_callback=self._on_event
+        )
+
+    # -- frame plumbing ----------------------------------------------------------
+
+    def _on_event(self, sim: Simulator, event: Event) -> None:
+        self._event_counter += 1
+        if self._event_counter % self.frame_every:
+            return
+        self._emit(self.renderer.render(sim))
+
+    def _emit(self, frame: str) -> None:
+        if self.stream is not None:
+            if self.in_place:
+                self.stream.write(_CLEAR)
+            self.stream.write(frame + "\n")
+            self.stream.flush()
+        if self.max_frames is None or len(self.frames) < self.max_frames:
+            self.frames.append(frame)
+
+    # -- run control ---------------------------------------------------------------
+
+    def play(self) -> bool:
+        """Run to completion (or pause); emits a final frame. Returns finished."""
+        finished = self.controller.play()
+        self._emit(self.renderer.render(self.controller.simulator))
+        return finished
+
+    def step(self) -> Event | None:
+        """Single event + frame (the Increment button)."""
+        return self.controller.increment()
+
+    def reset(self) -> None:
+        self.frames.clear()
+        self._event_counter = 0
+        self.controller.reset()
+
+    @property
+    def simulator(self) -> Simulator:
+        return self.controller.simulator

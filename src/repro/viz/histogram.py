@@ -1,0 +1,116 @@
+"""ASCII histograms — distribution views for waiting/response times.
+
+Bar charts show means; distributions tell the queueing story (§4 asks
+students to reason about *why* waits blow up at high intensity). Renders a
+fixed-bin horizontal histogram with counts and percentages, plus quantile
+annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["Histogram"]
+
+
+@dataclass
+class Histogram:
+    """Fixed-bin histogram of a non-negative sample."""
+
+    title: str
+    values: Sequence[float]
+    bins: int = 10
+    width: int = 40
+    unit: str = "s"
+
+    def __post_init__(self) -> None:
+        if self.bins < 1:
+            raise ConfigurationError(f"bins must be >= 1, got {self.bins}")
+        if self.width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {self.width}")
+        self._data = np.asarray(list(self.values), dtype=float)
+        if self._data.size and not np.isfinite(self._data).all():
+            raise ConfigurationError("histogram values must be finite")
+
+    @property
+    def n(self) -> int:
+        return int(self._data.size)
+
+    def edges_and_counts(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._data.size == 0:
+            return np.linspace(0.0, 1.0, self.bins + 1), np.zeros(
+                self.bins, dtype=int
+            )
+        lo = float(self._data.min())
+        hi = float(self._data.max())
+        if lo == hi:
+            hi = lo + 1.0
+        counts, edges = np.histogram(
+            self._data, bins=self.bins, range=(lo, hi)
+        )
+        return edges, counts
+
+    def quantiles(
+        self, qs: Sequence[float] = (0.5, 0.9, 0.99)
+    ) -> dict[float, float]:
+        if self._data.size == 0:
+            return {q: 0.0 for q in qs}
+        return {
+            q: float(np.quantile(self._data, q)) for q in qs
+        }
+
+    def to_text(self) -> str:
+        edges, counts = self.edges_and_counts()
+        total = max(int(counts.sum()), 1)
+        top = max(int(counts.max()), 1) if counts.size else 1
+        label_w = max(
+            len(f"{edges[i]:.3g}–{edges[i + 1]:.3g}")
+            for i in range(len(counts))
+        )
+        lines = [self.title, "-" * max(len(self.title), 8)]
+        if self.n == 0:
+            lines.append("(no samples)")
+            return "\n".join(lines)
+        for i, count in enumerate(counts):
+            label = f"{edges[i]:.3g}–{edges[i + 1]:.3g}"
+            filled = int(round(count / top * self.width))
+            bar = "#" * filled + " " * (self.width - filled)
+            lines.append(
+                f"{label.ljust(label_w)} |{bar}| "
+                f"{count:>6} ({100 * count / total:5.1f}%)"
+            )
+        quantiles = self.quantiles()
+        lines.append(
+            "  ".join(
+                f"p{int(100 * q)}={value:.4g}{self.unit}"
+                for q, value in quantiles.items()
+            )
+            + f"  n={self.n}"
+        )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_task_records(
+        cls,
+        records: Sequence[dict],
+        field: str = "wait_time",
+        *,
+        title: str | None = None,
+        bins: int = 10,
+    ) -> "Histogram":
+        """Histogram of a numeric Task-report column (skips blank cells)."""
+        values = [
+            float(r[field])
+            for r in records
+            if r.get(field) not in (None, "")
+        ]
+        return cls(
+            title=title or f"distribution of {field}",
+            values=values,
+            bins=bins,
+        )

@@ -1,0 +1,103 @@
+"""Shared fixtures: small deterministic systems used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import Scenario
+from repro.machines.cluster import Cluster
+from repro.machines.eet import EETMatrix
+from repro.machines.power import PowerProfile
+from repro.tasks.task import Task
+from repro.tasks.task_type import TaskType
+from repro.tasks.workload import Workload
+
+
+@pytest.fixture
+def task_types() -> list[TaskType]:
+    return [TaskType("T1", 0), TaskType("T2", 1), TaskType("T3", 2)]
+
+
+@pytest.fixture
+def eet_3x2(task_types) -> EETMatrix:
+    """3 task types × 2 machine types; M1 wins T1/T3, M2 wins T2."""
+    return EETMatrix(
+        np.array([[4.0, 10.0], [9.0, 3.0], [5.0, 6.0]]),
+        task_types,
+        ["M1", "M2"],
+    )
+
+
+@pytest.fixture
+def eet_homogeneous(task_types) -> EETMatrix:
+    return EETMatrix(
+        np.array([[5.0, 5.0, 5.0], [8.0, 8.0, 8.0], [3.0, 3.0, 3.0]]),
+        task_types,
+        ["A", "B", "C"],
+    )
+
+
+@pytest.fixture
+def cluster_3x2(eet_3x2) -> Cluster:
+    return Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+
+
+@pytest.fixture
+def powered_cluster(eet_3x2) -> Cluster:
+    return Cluster.build(
+        eet_3x2,
+        {"M1": 1, "M2": 1},
+        power_profiles={
+            "M1": PowerProfile(idle_watts=10.0, busy_watts=100.0),
+            "M2": PowerProfile(idle_watts=5.0, busy_watts=50.0),
+        },
+    )
+
+
+def make_task(
+    task_type: TaskType,
+    task_id: int = 0,
+    arrival: float = 0.0,
+    deadline: float = float("inf"),
+) -> Task:
+    return Task(
+        id=task_id, task_type=task_type, arrival_time=arrival, deadline=deadline
+    )
+
+
+@pytest.fixture
+def make_workload(task_types):
+    """Factory: build a workload from (type_idx, arrival, deadline) triples."""
+
+    def _build(triples) -> Workload:
+        tasks = [
+            Task(
+                id=i,
+                task_type=task_types[ti],
+                arrival_time=arr,
+                deadline=dl,
+            )
+            for i, (ti, arr, dl) in enumerate(triples)
+        ]
+        return Workload(task_types=list(task_types), tasks=tasks)
+
+    return _build
+
+
+@pytest.fixture
+def scenario_factory(eet_3x2):
+    """Factory for small generator-based scenarios."""
+
+    def _build(scheduler: str = "MECT", **overrides) -> Scenario:
+        params = dict(
+            eet=eet_3x2,
+            machine_counts={"M1": 1, "M2": 1},
+            scheduler=scheduler,
+            generator={"duration": 120.0, "intensity": "medium"},
+            seed=99,
+        )
+        params.update(overrides)
+        return Scenario(**params)
+
+    return _build

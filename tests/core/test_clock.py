@@ -1,0 +1,60 @@
+"""Simulation clock: monotonicity and reset."""
+
+import pytest
+
+from repro.core.clock import SimulationClock
+from repro.core.errors import SimulationStateError
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_custom_start(self):
+        clock = SimulationClock(start=5.0)
+        assert clock.now == 5.0
+        assert clock.start == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationStateError):
+            SimulationClock(start=-1.0)
+
+    def test_advance(self):
+        clock = SimulationClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_allowed(self):
+        clock = SimulationClock()
+        clock.advance_to(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_backwards_advance_rejected(self):
+        clock = SimulationClock()
+        clock.advance_to(4.0)
+        with pytest.raises(SimulationStateError):
+            clock.advance_to(3.0)
+
+    def test_elapsed(self):
+        clock = SimulationClock(start=2.0)
+        clock.advance_to(7.0)
+        assert clock.elapsed == 5.0
+
+    def test_reset_to_original_start(self):
+        clock = SimulationClock(start=1.0)
+        clock.advance_to(9.0)
+        clock.reset()
+        assert clock.now == 1.0
+
+    def test_reset_to_new_start(self):
+        clock = SimulationClock()
+        clock.advance_to(9.0)
+        clock.reset(start=4.0)
+        assert clock.now == 4.0
+        assert clock.start == 4.0
+
+    def test_reset_negative_rejected(self):
+        clock = SimulationClock()
+        with pytest.raises(SimulationStateError):
+            clock.reset(start=-0.5)

@@ -1,0 +1,190 @@
+"""Scenario configuration: validation, builders, JSON round-trips."""
+
+import pytest
+
+from repro.core.config import Scenario
+from repro.core.errors import ConfigurationError
+from repro.machines.machine_queue import UNBOUNDED
+from repro.machines.power import PowerProfile
+
+
+class TestValidation:
+    def test_needs_workload_or_generator(self, eet_3x2):
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                eet=eet_3x2, machine_counts={"M1": 1}, scheduler="MECT"
+            )
+
+    def test_workload_and_generator_exclusive(
+        self, eet_3x2, make_workload
+    ):
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                eet=eet_3x2,
+                machine_counts={"M1": 1},
+                scheduler="MECT",
+                workload=make_workload([(0, 0.0, 10.0)]),
+                generator={"duration": 10.0},
+            )
+
+    def test_unknown_machine_type_rejected(self, eet_3x2):
+        with pytest.raises(ConfigurationError):
+            Scenario(
+                eet=eet_3x2,
+                machine_counts={"NOPE": 1},
+                scheduler="MECT",
+                generator={"duration": 10.0},
+            )
+
+
+class TestBuilders:
+    def test_build_cluster(self, scenario_factory):
+        cluster = scenario_factory().build_cluster()
+        assert len(cluster) == 2
+
+    def test_build_workload_deterministic(self, scenario_factory):
+        scenario = scenario_factory()
+        a = scenario.build_workload()
+        b = scenario.build_workload()
+        assert [(t.arrival_time, t.task_type.name) for t in a] == [
+            (t.arrival_time, t.task_type.name) for t in b
+        ]
+
+    def test_replications_draw_different_workloads(self, scenario_factory):
+        scenario = scenario_factory()
+        a = scenario.build_workload(replication=0)
+        b = scenario.build_workload(replication=1)
+        assert [t.arrival_time for t in a] != [t.arrival_time for t in b]
+
+    def test_explicit_workload_fresh_copies(self, eet_3x2, make_workload):
+        workload = make_workload([(0, 0.0, 50.0)])
+        scenario = Scenario(
+            eet=eet_3x2,
+            machine_counts={"M1": 1, "M2": 1},
+            scheduler="MECT",
+            workload=workload,
+        )
+        built = scenario.build_workload()
+        assert built[0] is not workload[0]
+
+    def test_generator_needs_duration_or_count(self, eet_3x2):
+        scenario = Scenario(
+            eet=eet_3x2,
+            machine_counts={"M1": 1, "M2": 1},
+            scheduler="MECT",
+            generator={"intensity": "low"},
+        )
+        with pytest.raises(ConfigurationError):
+            scenario.build_workload()
+
+    def test_generator_n_tasks(self, eet_3x2):
+        scenario = Scenario(
+            eet=eet_3x2,
+            machine_counts={"M1": 1, "M2": 1},
+            scheduler="MECT",
+            generator={"n_tasks": 17},
+            seed=1,
+        )
+        assert len(scenario.build_workload()) == 17
+
+    def test_immediate_mode_forces_unbounded(self, scenario_factory):
+        scenario = scenario_factory("MECT", queue_capacity=3)
+        sim = scenario.build_simulator()
+        assert all(m.queue.capacity == UNBOUNDED for m in sim.cluster)
+
+    def test_batch_mode_uses_capacity(self, scenario_factory):
+        scenario = scenario_factory("MM", queue_capacity=3)
+        sim = scenario.build_simulator()
+        assert all(m.queue.capacity == 3 for m in sim.cluster)
+
+
+class TestRun:
+    def test_run_produces_result(self, scenario_factory):
+        result = scenario_factory().run()
+        assert result.summary.total_tasks > 0
+
+    def test_run_replications(self, scenario_factory):
+        results = scenario_factory().run_replications(3)
+        assert len(results) == 3
+        totals = {r.summary.total_tasks for r in results}
+        assert len(totals) > 1  # independent workload draws
+
+    def test_zero_replications_rejected(self, scenario_factory):
+        with pytest.raises(ConfigurationError):
+            scenario_factory().run_replications(0)
+
+
+class TestJSON:
+    def test_round_trip_generator_scenario(self, scenario_factory):
+        scenario = scenario_factory("MM", queue_capacity=2)
+        clone = Scenario.from_json(scenario.to_json())
+        assert clone.scheduler == "MM"
+        assert clone.queue_capacity == 2
+        assert clone.run().summary.as_dict() == scenario.run().summary.as_dict()
+
+    def test_round_trip_explicit_workload(self, eet_3x2, make_workload):
+        scenario = Scenario(
+            eet=eet_3x2,
+            machine_counts={"M1": 1, "M2": 1},
+            scheduler="MECT",
+            workload=make_workload([(0, 0.0, 50.0), (1, 1.0, 51.0)]),
+            power_profiles={"M1": PowerProfile(idle_watts=4.0, busy_watts=9.0)},
+            seed=5,
+        )
+        clone = Scenario.from_json(scenario.to_json())
+        assert len(clone.workload) == 2
+        assert clone.power_profiles["M1"].idle_watts == 4.0
+        assert (
+            clone.run().summary.as_dict() == scenario.run().summary.as_dict()
+        )
+
+    def test_json_file_round_trip(self, scenario_factory, tmp_path):
+        scenario = scenario_factory()
+        path = tmp_path / "scenario.json"
+        scenario.to_json(path)
+        clone = Scenario.from_json(path)
+        assert clone.name == scenario.name
+
+    def test_unbounded_capacity_serialises_as_null(self, scenario_factory):
+        import json
+
+        data = json.loads(scenario_factory().to_json())
+        assert data["queue_capacity"] is None
+
+
+class TestDerivedScenarios:
+    def test_with_scheduler(self, scenario_factory):
+        derived = scenario_factory("MECT").with_scheduler("FCFS")
+        assert derived.scheduler == "FCFS"
+        assert derived.run().scheduler_name == "FCFS"
+
+    def test_with_intensity(self, scenario_factory):
+        low = scenario_factory().with_intensity("low")
+        high = scenario_factory().with_intensity("high")
+        assert len(high.build_workload()) > len(low.build_workload())
+
+    def test_with_intensity_requires_generator(self, eet_3x2, make_workload):
+        scenario = Scenario(
+            eet=eet_3x2,
+            machine_counts={"M1": 1, "M2": 1},
+            scheduler="MECT",
+            workload=make_workload([(0, 0.0, 50.0)]),
+        )
+        with pytest.raises(ConfigurationError):
+            scenario.with_intensity("high")
+
+
+class TestFromCsvFiles:
+    def test_fig2_workflow(self, tmp_path, eet_3x2, make_workload):
+        from repro.tasks.trace_io import write_workload_csv
+
+        eet_path = tmp_path / "eet.csv"
+        eet_3x2.to_csv(eet_path)
+        workload_path = tmp_path / "workload.csv"
+        write_workload_csv(make_workload([(0, 0.0, 50.0)]), workload_path)
+        scenario = Scenario.from_csv_files(
+            eet_path, workload_path, scheduler="MECT"
+        )
+        result = scenario.run()
+        assert result.summary.total_tasks == 1
+        assert result.summary.completed == 1

@@ -1,0 +1,80 @@
+"""Student-side report analysis: CSVs back to assignment charts."""
+
+import io
+
+import pytest
+
+from repro.core.errors import ReportError
+from repro.education.analysis import (
+    build_completion_chart,
+    completion_by_type,
+    completion_percentage,
+    load_report_csv,
+)
+
+
+@pytest.fixture
+def saved_task_report(scenario_factory, tmp_path):
+    result = scenario_factory("MECT").run()
+    path = tmp_path / "task_report.csv"
+    result.reports.task_report().to_csv(path)
+    return path, result
+
+
+class TestLoad:
+    def test_round_trip_row_count(self, saved_task_report):
+        path, result = saved_task_report
+        rows = load_report_csv(path)
+        assert len(rows) == result.summary.total_tasks
+
+    def test_load_from_stream(self, saved_task_report):
+        path, _ = saved_task_report
+        rows = load_report_csv(io.StringIO(path.read_text(encoding="utf-8")))
+        assert rows
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReportError):
+            load_report_csv(io.StringIO("a,b\n"))
+
+
+class TestCompletionMetrics:
+    def test_matches_summary(self, saved_task_report):
+        path, result = saved_task_report
+        rows = load_report_csv(path)
+        assert completion_percentage(rows) == pytest.approx(
+            100.0 * result.summary.completion_rate
+        )
+
+    def test_by_type_matches_summary(self, saved_task_report):
+        path, result = saved_task_report
+        rows = load_report_csv(path)
+        by_type = completion_by_type(rows)
+        for name, rate in result.summary.completion_rate_by_type.items():
+            assert by_type[name] == pytest.approx(100.0 * rate)
+
+    def test_wrong_report_kind_rejected(self):
+        rows = [{"metric": "x", "value": "1"}]
+        with pytest.raises(ReportError):
+            completion_percentage(rows)
+
+
+class TestChart:
+    def test_full_student_workflow(self, scenario_factory, tmp_path):
+        """Run → save CSVs → reload → chart, exactly as the assignment asks."""
+        saved: dict[str, dict[str, object]] = {}
+        for intensity in ("low", "high"):
+            saved[intensity] = {}
+            for policy in ("FCFS", "MECT"):
+                scenario = scenario_factory(
+                    policy,
+                    generator={"duration": 150.0, "intensity": intensity},
+                )
+                result = scenario.run()
+                path = tmp_path / f"{intensity}_{policy}.csv"
+                result.reports.task_report().to_csv(path)
+                saved[intensity][policy] = path
+        chart = build_completion_chart(saved)
+        assert chart.groups == ["low", "high"]
+        assert chart.series == ["FCFS", "MECT"]
+        # the assignment's lesson survives the CSV round trip
+        assert chart.get("low", "MECT") >= chart.get("high", "MECT")

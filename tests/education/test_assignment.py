@@ -1,0 +1,105 @@
+"""Class-assignment driver: system builders and completion sweeps.
+
+Uses a deliberately small configuration (short duration, 2 replications) so
+the full Fig-5/6/7 pipelines stay fast; the benchmarks run the full-size
+versions.
+"""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.education.assignment import (
+    AssignmentConfig,
+    build_heterogeneous_eet,
+    build_homogeneous_eet,
+    figure5,
+    figure6,
+    figure7,
+    run_completion_sweep,
+)
+
+FAST = AssignmentConfig(duration=150.0, replications=2, seed=11)
+
+
+class TestSystemBuilders:
+    def test_homogeneous_is_homogeneous(self):
+        assert build_homogeneous_eet(FAST).is_homogeneous()
+
+    def test_heterogeneous_is_not(self):
+        assert not build_heterogeneous_eet(FAST).is_homogeneous()
+
+    def test_shapes(self):
+        eet = build_heterogeneous_eet(FAST)
+        assert eet.n_task_types == FAST.n_task_types
+        assert eet.n_machine_types == FAST.n_machines
+
+    def test_deterministic_for_seed(self):
+        assert build_heterogeneous_eet(FAST) == build_heterogeneous_eet(FAST)
+
+
+class TestSweep:
+    def test_chart_covers_grid(self):
+        fig = run_completion_sweep(
+            build_heterogeneous_eet(FAST), ["FCFS", "MECT"], config=FAST
+        )
+        assert fig.chart.groups == ["low", "medium", "high"]
+        assert fig.chart.series == ["FCFS", "MECT"]
+
+    def test_rows_per_cell(self):
+        fig = run_completion_sweep(
+            build_heterogeneous_eet(FAST), ["FCFS"], config=FAST
+        )
+        assert len(fig.rows) == 3 * 1 * FAST.replications
+
+    def test_mean_accessor(self):
+        fig = run_completion_sweep(
+            build_heterogeneous_eet(FAST), ["FCFS"], config=FAST
+        )
+        value = fig.mean("low", "FCFS")
+        assert 0.0 <= value <= 1.0
+        assert fig.chart.get("low", "FCFS") == pytest.approx(100.0 * value)
+
+    def test_mean_unknown_cell_rejected(self):
+        fig = run_completion_sweep(
+            build_heterogeneous_eet(FAST), ["FCFS"], config=FAST
+        )
+        with pytest.raises(ConfigurationError):
+            fig.mean("low", "MECT")
+
+    def test_completion_declines_with_intensity(self):
+        fig = run_completion_sweep(
+            build_heterogeneous_eet(FAST), ["MECT"], config=FAST
+        )
+        assert fig.mean("low", "MECT") >= fig.mean("high", "MECT")
+
+
+class TestFigurePipelines:
+    def test_figure5_policies(self):
+        fig = figure5(FAST)
+        assert fig.chart.series == ["FCFS", "MECT", "MEET"]
+        assert "homogeneous" in fig.title
+
+    def test_figure6_policies(self):
+        fig = figure6(FAST)
+        assert fig.chart.series == ["FCFS", "MECT", "MEET"]
+        assert "heterogeneous" in fig.title
+
+    def test_figure7_policies(self):
+        fig = figure7(FAST)
+        assert fig.chart.series == ["MM", "MMU", "MSD"]
+
+    def test_figure7_rows_record_energy(self):
+        fig = figure7(FAST)
+        assert all("total_energy" in row for row in fig.rows)
+
+    def test_paper_shape_intensity_monotone(self):
+        """The §4 expected result: higher intensity ⇒ lower completion."""
+        fig = figure6(FAST)
+        for policy in fig.chart.series:
+            assert fig.mean("low", policy) >= fig.mean("high", policy) - 1e-9
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AssignmentConfig(replications=0)
+        with pytest.raises(ConfigurationError):
+            AssignmentConfig(n_task_types=0)

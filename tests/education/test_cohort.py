@@ -1,0 +1,140 @@
+"""Synthetic student cohort and the pre/post quiz study."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.education.cohort import (
+    PAPER_POST_MEAN,
+    PAPER_PRE_MEAN,
+    CohortModel,
+    Student,
+    mastery_for_target_score,
+    run_quiz_study,
+)
+from repro.education.quiz import generate_quiz
+
+
+class TestMasteryInversion:
+    def test_guessing_floor(self):
+        # mastery 0 -> expected score = P/M = 3 of 12
+        assert mastery_for_target_score(3.0) == pytest.approx(0.0)
+
+    def test_full_mastery(self):
+        assert mastery_for_target_score(12.0) == pytest.approx(1.0)
+
+    def test_paper_pre_target(self):
+        p = mastery_for_target_score(PAPER_PRE_MEAN)
+        assert p == pytest.approx(0.5111, abs=1e-3)
+
+    def test_paper_post_target(self):
+        p = mastery_for_target_score(PAPER_POST_MEAN)
+        assert p == pytest.approx(0.66, abs=1e-2)
+
+    def test_below_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mastery_for_target_score(1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mastery_for_target_score(0.0)
+        with pytest.raises(ConfigurationError):
+            mastery_for_target_score(13.0)
+
+
+class TestStudent:
+    def test_full_mastery_perfect_score(self):
+        quiz = generate_quiz(seed=0)
+        student = Student(0, {m: 1.0 for m in quiz.methods})
+        result = student.take(quiz, np.random.default_rng(0))
+        assert result.points == 12
+
+    def test_zero_mastery_scores_near_guessing(self):
+        quiz = generate_quiz(seed=0)
+        student = Student(0, {m: 0.0 for m in quiz.methods})
+        rng = np.random.default_rng(1)
+        scores = [student.take(quiz, rng).points for _ in range(300)]
+        assert np.mean(scores) == pytest.approx(3.0, abs=0.5)
+
+    def test_answers_cover_all_tasks(self):
+        quiz = generate_quiz(seed=0)
+        student = Student(0, {m: 0.5 for m in quiz.methods})
+        answers = student.answer(quiz, np.random.default_rng(2))
+        for method in quiz.methods:
+            assert set(answers[method]) == {0, 1, 2}
+
+
+class TestCohortModel:
+    def test_sample_size(self):
+        students = CohortModel(n_students=23, mean_mastery=0.5).sample(
+            np.random.default_rng(0)
+        )
+        assert len(students) == 23
+
+    def test_mastery_in_unit_interval(self):
+        students = CohortModel(n_students=50, mean_mastery=0.5).sample(
+            np.random.default_rng(1)
+        )
+        for s in students:
+            for p in s.mastery.values():
+                assert 0.0 <= p <= 1.0
+
+    def test_mean_mastery_tracked(self):
+        students = CohortModel(
+            n_students=500, mean_mastery=0.6, concentration=30.0
+        ).sample(np.random.default_rng(2))
+        base_means = [np.mean(list(s.mastery.values())) for s in students]
+        assert np.mean(base_means) == pytest.approx(0.6, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CohortModel(n_students=0)
+        with pytest.raises(ConfigurationError):
+            CohortModel(mean_mastery=1.5)
+        with pytest.raises(ConfigurationError):
+            CohortModel(concentration=0.0)
+
+
+class TestQuizStudy:
+    def test_improvement_positive(self):
+        study = run_quiz_study(seed=1)
+        assert study.post_mean > study.pre_mean
+        assert study.improvement > 0
+
+    def test_paper_shape_over_replications(self):
+        """Across seeds, means approach the paper's 7.6 -> 8.94 (+17.6%)."""
+        pres, posts = [], []
+        for seed in range(12):
+            study = run_quiz_study(seed=seed)
+            pres.append(study.pre_mean)
+            posts.append(study.post_mean)
+        assert np.mean(pres) == pytest.approx(PAPER_PRE_MEAN, abs=0.6)
+        assert np.mean(posts) == pytest.approx(PAPER_POST_MEAN, abs=0.6)
+        improvement = (np.mean(posts) - np.mean(pres)) / np.mean(pres)
+        assert 0.10 < improvement < 0.28
+
+    def test_deterministic(self):
+        a = run_quiz_study(seed=9)
+        b = run_quiz_study(seed=9)
+        assert a.pre_scores == b.pre_scores
+        assert a.post_scores == b.post_scores
+
+    def test_cohort_size(self):
+        study = run_quiz_study(seed=0, n_students=23)
+        assert len(study.pre_scores) == 23
+        assert len(study.post_scores) == 23
+
+    def test_scores_bounded(self):
+        study = run_quiz_study(seed=3)
+        assert all(0 <= s <= study.max_points for s in study.pre_scores)
+        assert all(0 <= s <= study.max_points for s in study.post_scores)
+
+    def test_as_dict(self):
+        d = run_quiz_study(seed=0).as_dict()
+        assert set(d) == {
+            "pre_mean",
+            "post_mean",
+            "max_points",
+            "improvement",
+            "n_students",
+        }

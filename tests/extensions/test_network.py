@@ -1,0 +1,131 @@
+"""Communication extension: links, transfer delays, in-simulation effects."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Scenario
+from repro.core.errors import ConfigurationError
+from repro.machines.eet import EETMatrix
+from repro.machines.machine_type import MachineType
+from repro.net.topology import Link, StarTopology
+from repro.net.transfer import output_return_delay, transfer_delay
+from repro.tasks.task_type import TaskType
+
+
+class TestLink:
+    def test_latency_only(self):
+        link = Link(latency=0.5)
+        assert link.delay_for(100.0) == 0.5
+
+    def test_latency_plus_bandwidth(self):
+        link = Link(latency=0.1, bandwidth=10.0)
+        assert link.delay_for(5.0) == pytest.approx(0.6)
+
+    def test_zero_payload(self):
+        link = Link(latency=0.1, bandwidth=10.0)
+        assert link.delay_for(0.0) == 0.1
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link(latency=-0.1)
+        with pytest.raises(ConfigurationError):
+            Link(bandwidth=-1.0)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Link().delay_for(-1.0)
+
+
+class TestTopology:
+    def test_default_link(self):
+        topo = StarTopology()
+        assert topo.link_for("anything") == Link()
+
+    def test_set_and_get(self):
+        topo = StarTopology().set_link("GPU", 0.2, 100.0)
+        assert topo.link_for("GPU") == Link(0.2, 100.0)
+
+    def test_uniform(self):
+        topo = StarTopology.uniform(["A", "B"], latency=0.3)
+        assert topo.link_for("A").latency == 0.3
+        assert topo.link_for("B").latency == 0.3
+
+    def test_as_scenario_network(self):
+        topo = StarTopology().set_link("A", 0.1, 50.0)
+        assert topo.as_scenario_network() == {"A": (0.1, 50.0)}
+
+
+class TestTransferDelay:
+    def test_delay_components(self):
+        task_type = TaskType("T", 0, data_in=10.0, data_out=2.0)
+        mtype = MachineType("M", 0, network_latency=0.5, network_bandwidth=5.0)
+        assert transfer_delay(task_type, mtype) == pytest.approx(2.5)
+        assert output_return_delay(task_type, mtype) == pytest.approx(0.9)
+
+    def test_zero_bandwidth_is_latency_only(self):
+        task_type = TaskType("T", 0, data_in=10.0)
+        mtype = MachineType("M", 0, network_latency=0.5)
+        assert transfer_delay(task_type, mtype) == 0.5
+
+    def test_no_network_zero_delay(self):
+        task_type = TaskType("T", 0)
+        mtype = MachineType("M", 0)
+        assert transfer_delay(task_type, mtype) == 0.0
+
+
+class TestInSimulation:
+    def _scenario(self, enable_network, latency=2.0):
+        task_type = TaskType("T", 0, data_in=10.0)
+        eet = EETMatrix(np.array([[5.0]]), [task_type], ["M"])
+        from repro.tasks.task import Task
+        from repro.tasks.workload import Workload
+
+        workload = Workload(
+            task_types=[task_type],
+            tasks=[Task(id=0, task_type=task_type, arrival_time=0.0, deadline=50.0)],
+        )
+        return Scenario(
+            eet=eet,
+            machine_counts={"M": 1},
+            scheduler="MECT",
+            workload=workload,
+            network={"M": (latency, 10.0)},
+            enable_network=enable_network,
+        )
+
+    def test_network_delays_start(self):
+        # delay = 2.0 latency + 10 MB / 10 MBps = 3.0 s; start at 3, end at 8
+        result = self._scenario(enable_network=True).run()
+        (record,) = result.task_records
+        assert record["start_time"] == pytest.approx(3.0)
+        assert record["completion_time"] == pytest.approx(8.0)
+
+    def test_network_disabled_ignores_links(self):
+        result = self._scenario(enable_network=False).run()
+        (record,) = result.task_records
+        assert record["start_time"] == 0.0
+        assert record["completion_time"] == pytest.approx(5.0)
+
+    def test_miss_in_transit_recorded(self):
+        task_type = TaskType("T", 0, data_in=100.0)
+        eet = EETMatrix(np.array([[1.0]]), [task_type], ["M"])
+        from repro.tasks.task import Task
+        from repro.tasks.workload import Workload
+
+        workload = Workload(
+            task_types=[task_type],
+            tasks=[Task(id=0, task_type=task_type, arrival_time=0.0, deadline=3.0)],
+        )
+        # transfer = 10 s latency: the deadline (3) fires mid-transit.
+        scenario = Scenario(
+            eet=eet,
+            machine_counts={"M": 1},
+            scheduler="MECT",
+            workload=workload,
+            network={"M": (10.0, 0.0)},
+            enable_network=True,
+        )
+        result = scenario.run()
+        (record,) = result.task_records
+        assert record["status"] == "missed"
+        assert record["drop_stage"] == "in_transit"

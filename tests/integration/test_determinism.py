@@ -1,0 +1,57 @@
+"""Reproducibility: a scenario seed fully determines every artifact."""
+
+import pytest
+
+from repro.scenarios import edge_ai, satellite_imaging
+
+
+class TestSeedDeterminism:
+    def test_identical_summaries(self, scenario_factory):
+        scenario = scenario_factory("MM", queue_capacity=2)
+        a = scenario.run().summary.as_dict()
+        b = scenario.run().summary.as_dict()
+        assert a == b
+
+    def test_identical_task_records(self, scenario_factory):
+        scenario = scenario_factory("FELARE", queue_capacity=2)
+        assert scenario.run().task_records == scenario.run().task_records
+
+    def test_identical_reports_csv(self, scenario_factory):
+        scenario = scenario_factory("MECT")
+        a = scenario.run().reports.full_report().to_csv()
+        b = scenario.run().reports.full_report().to_csv()
+        assert a == b
+
+    def test_different_seeds_differ(self, scenario_factory):
+        a = scenario_factory("MECT", seed=1).run().task_records
+        b = scenario_factory("MECT", seed=2).run().task_records
+        assert a != b
+
+    def test_canned_scenarios_deterministic(self):
+        a = satellite_imaging(duration=100.0).run().summary.as_dict()
+        b = satellite_imaging(duration=100.0).run().summary.as_dict()
+        assert a == b
+
+    def test_edge_ai_with_noise_deterministic(self):
+        from dataclasses import replace
+
+        scenario = replace(
+            edge_ai(duration=100.0),
+            execution_model={"kind": "lognormal", "sigma": 0.3},
+        )
+        assert (
+            scenario.run().summary.as_dict()
+            == scenario.run().summary.as_dict()
+        )
+
+    def test_stepped_equals_run(self, scenario_factory):
+        """Event-by-event stepping produces the same result as run()."""
+        scenario = scenario_factory("MM", queue_capacity=3)
+        stepped = scenario.build_simulator()
+        while stepped.step() is not None:
+            pass
+        ran = scenario.build_simulator()
+        ran.run()
+        assert (
+            stepped.result().task_records == ran.result().task_records
+        )

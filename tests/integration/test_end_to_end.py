@@ -1,0 +1,98 @@
+"""End-to-end integration: every policy through the full pipeline."""
+
+import pytest
+
+from repro.core.config import Scenario
+from repro.machines.eet_generation import generate_eet_cvb
+from repro.scheduling.base import SchedulingMode
+from repro.scheduling.registry import available_schedulers, scheduler_class
+
+HET_EET = generate_eet_cvb(
+    3, 3, mean_task=10.0, v_task=0.4, v_machine=0.5, seed=17
+)
+
+
+def scenario_for(policy: str, **overrides) -> Scenario:
+    mode = scheduler_class(policy).mode
+    params = dict(
+        eet=HET_EET,
+        machine_counts={n: 1 for n in HET_EET.machine_type_names},
+        scheduler=policy,
+        queue_capacity=(3 if mode is SchedulingMode.BATCH else float("inf")),
+        generator={"duration": 200.0, "intensity": "medium"},
+        seed=31,
+    )
+    params.update(overrides)
+    return Scenario(**params)
+
+
+class TestEveryPolicyEndToEnd:
+    @pytest.mark.parametrize("policy", available_schedulers())
+    def test_policy_runs_clean(self, policy):
+        result = scenario_for(policy).run()
+        s = result.summary
+        assert s.total_tasks > 0
+        assert s.completed + s.cancelled + s.missed == s.total_tasks
+        assert 0.0 <= s.completion_rate <= 1.0
+
+    @pytest.mark.parametrize("policy", available_schedulers())
+    def test_policy_reports_render(self, policy):
+        result = scenario_for(policy).run()
+        bundle = result.reports
+        for name in ("full", "task", "machine", "summary"):
+            report = bundle.by_name(name)
+            assert report.to_csv()
+            assert report.to_text()
+
+
+class TestExecutionNoise:
+    def test_noisy_runtimes_still_conserve(self):
+        result = scenario_for(
+            "MECT", execution_model={"kind": "lognormal", "sigma": 0.4}
+        ).run()
+        s = result.summary
+        assert s.completed + s.cancelled + s.missed == s.total_tasks
+
+    def test_noise_changes_outcomes(self):
+        clean = scenario_for("MECT").run()
+        noisy = scenario_for(
+            "MECT", execution_model={"kind": "gamma", "cov": 0.5}
+        ).run()
+        clean_records = [
+            r["completion_time"] for r in clean.task_records
+        ]
+        noisy_records = [
+            r["completion_time"] for r in noisy.task_records
+        ]
+        assert clean_records != noisy_records
+
+
+class TestVisualizationIntegration:
+    def test_timeline_from_full_run(self):
+        result = scenario_for("MM").run()
+        from repro.viz.timeline import timeline_from_records
+
+        text = timeline_from_records(result.task_records).to_text()
+        assert "machine timeline" in text
+
+    def test_animation_full_run(self):
+        from repro.viz.animation import Animator
+
+        animator = Animator(
+            scenario_for("MECT").build_simulator, frame_every=20
+        )
+        animator.play()
+        assert animator.simulator.is_finished
+
+
+class TestScenarioJsonPipeline:
+    def test_json_file_to_run(self, tmp_path):
+        scenario = scenario_for("MSD")
+        path = tmp_path / "scenario.json"
+        scenario.to_json(path)
+        from repro.core.config import Scenario as S
+
+        clone = S.from_json(path)
+        assert (
+            clone.run().summary.as_dict() == scenario.run().summary.as_dict()
+        )

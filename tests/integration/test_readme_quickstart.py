@@ -1,0 +1,47 @@
+"""Keep the README honest: its quickstart snippet must actually run."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def _python_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_readme_exists_and_mentions_the_paper(self):
+        text = README.read_text(encoding="utf-8")
+        assert "E2C" in text
+        assert "2303.10901" in text
+
+    def test_quickstart_block_executes(self, tmp_path, monkeypatch):
+        text = README.read_text(encoding="utf-8")
+        blocks = _python_blocks(text)
+        assert blocks, "README must contain a python quickstart block"
+        monkeypatch.chdir(tmp_path)  # reports/ output lands in tmp
+        namespace: dict = {}
+        exec(compile(blocks[0], "<README quickstart>", "exec"), namespace)
+        result = namespace["result"]
+        assert 0.0 <= result.summary.completion_rate <= 1.0
+        assert (tmp_path / "reports").exists()
+
+    def test_examples_listed_in_readme_exist(self):
+        text = README.read_text(encoding="utf-8")
+        examples_dir = README.parent / "examples"
+        for name in re.findall(r"`([a-z_]+\.py)`", text):
+            assert (examples_dir / name).exists(), f"README references {name}"
+
+    def test_cli_commands_in_readme_are_real(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        text = README.read_text(encoding="utf-8")
+        for command in re.findall(r"e2c-sim (\w+)", text):
+            # every subcommand the README shows must parse
+            assert command in (
+                "generate", "run", "schedulers", "assignment", "table1", "quiz",
+            ), f"README references unknown subcommand {command}"

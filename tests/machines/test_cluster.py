@@ -1,0 +1,121 @@
+"""Cluster construction and vectorised planning views."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.machines.cluster import Cluster
+from repro.machines.machine_queue import UNBOUNDED
+from repro.machines.power import PowerProfile
+from repro.tasks.task import Task
+
+
+def t1_task(task_types, i=0):
+    task = Task(id=i, task_type=task_types[0], arrival_time=0.0, deadline=99.0)
+    task.enqueue_batch()
+    return task
+
+
+class TestBuild:
+    def test_counts_mapping(self, eet_3x2):
+        cluster = Cluster.build(eet_3x2, {"M1": 2, "M2": 1})
+        assert len(cluster) == 3
+        assert cluster.counts_by_type() == {"M1": 2, "M2": 1}
+
+    def test_counts_sequence(self, eet_3x2):
+        cluster = Cluster.build(eet_3x2, [1, 2])
+        assert cluster.counts_by_type() == {"M1": 1, "M2": 2}
+
+    def test_machine_ids_sequential(self, eet_3x2):
+        cluster = Cluster.build(eet_3x2, {"M1": 2, "M2": 2})
+        assert [m.id for m in cluster] == [0, 1, 2, 3]
+
+    def test_machine_names(self, eet_3x2):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        assert [m.name for m in cluster] == ["M1-0", "M2-1"]
+
+    def test_unknown_type_rejected(self, eet_3x2):
+        with pytest.raises(ConfigurationError):
+            Cluster.build(eet_3x2, {"MX": 1})
+
+    def test_zero_machines_rejected(self, eet_3x2):
+        with pytest.raises(ConfigurationError):
+            Cluster.build(eet_3x2, {"M1": 0, "M2": 0})
+
+    def test_negative_count_rejected(self, eet_3x2):
+        with pytest.raises(ConfigurationError):
+            Cluster.build(eet_3x2, {"M1": -1, "M2": 1})
+
+    def test_sequence_length_mismatch_rejected(self, eet_3x2):
+        with pytest.raises(ConfigurationError):
+            Cluster.build(eet_3x2, [1])
+
+    def test_power_profiles_attached(self, eet_3x2):
+        cluster = Cluster.build(
+            eet_3x2,
+            {"M1": 1, "M2": 1},
+            power_profiles={"M1": PowerProfile(idle_watts=7.0)},
+        )
+        assert cluster[0].machine_type.power.idle_watts == 7.0
+        assert cluster[1].machine_type.power.idle_watts == 0.0
+
+    def test_extension_parameters_attached(self, eet_3x2):
+        cluster = Cluster.build(
+            eet_3x2,
+            {"M1": 1, "M2": 1},
+            memory_capacities={"M1": 512.0},
+            network={"M2": (0.1, 50.0)},
+        )
+        assert cluster[0].machine_type.memory_capacity == 512.0
+        assert cluster[1].machine_type.network_latency == 0.1
+        assert cluster[1].machine_type.network_bandwidth == 50.0
+
+
+class TestVectorViews:
+    def test_eet_vector_alignment(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 2, "M2": 1})
+        vec = cluster.eet_vector(t1_task(task_types))
+        np.testing.assert_array_equal(vec, [4.0, 4.0, 10.0])
+
+    def test_ready_times_all_idle(self, eet_3x2):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        np.testing.assert_array_equal(cluster.ready_times(3.0), [3.0, 3.0])
+
+    def test_completion_times(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        completion = cluster.completion_times(t1_task(task_types), 2.0)
+        np.testing.assert_array_equal(completion, [6.0, 12.0])
+
+    def test_acceptance_mask(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1}, queue_capacity=1)
+        assert cluster.acceptance_mask().all()
+        cluster[0].enqueue(t1_task(task_types, 0), 0.0)
+        mask = cluster.acceptance_mask()
+        assert not mask[0] and mask[1]
+
+
+class TestUtilities:
+    def test_set_queue_capacity(self, eet_3x2):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        cluster.set_queue_capacity(2)
+        assert all(m.queue.capacity == 2 for m in cluster)
+
+    def test_set_queue_capacity_with_inflight_rejected(
+        self, eet_3x2, task_types
+    ):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        cluster[0].enqueue(t1_task(task_types), 0.0)
+        with pytest.raises(ConfigurationError):
+            cluster.set_queue_capacity(2)
+
+    def test_total_energy_starts_zero(self, powered_cluster):
+        assert powered_cluster.total_energy() == 0.0
+
+    def test_fresh_copy_pristine(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        cluster[0].enqueue(t1_task(task_types), 0.0)
+        cluster[0].start_next(0.0)
+        clone = cluster.fresh_copy()
+        assert clone[0].is_idle
+        assert len(clone[0].queue) == 0
+        assert clone[0].name == cluster[0].name

@@ -1,0 +1,93 @@
+"""Execution-time models: determinism, unit means, spec round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.machines.execution import (
+    DeterministicExecution,
+    GammaExecution,
+    LognormalExecution,
+    execution_model_from_spec,
+)
+from repro.tasks.task import Task
+from repro.tasks.task_type import TaskType
+
+TASK = Task(id=0, task_type=TaskType("T", 0), arrival_time=0.0, deadline=9.0)
+
+
+class TestDeterministic:
+    def test_returns_eet(self):
+        model = DeterministicExecution()
+        rng = np.random.default_rng(0)
+        assert model.sample(TASK, 7.0, rng) == 7.0
+
+
+class TestLognormal:
+    def test_positive(self):
+        model = LognormalExecution(sigma=0.5)
+        rng = np.random.default_rng(1)
+        assert all(model.sample(TASK, 5.0, rng) > 0 for _ in range(100))
+
+    def test_unit_mean_multiplier(self):
+        model = LognormalExecution(sigma=0.4)
+        rng = np.random.default_rng(2)
+        samples = [model.sample(TASK, 10.0, rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.03)
+
+    def test_zero_sigma_degenerates(self):
+        model = LognormalExecution(sigma=0.0)
+        rng = np.random.default_rng(3)
+        assert model.sample(TASK, 5.0, rng) == 5.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LognormalExecution(sigma=-0.1)
+
+
+class TestGamma:
+    def test_mean_tracks_eet(self):
+        model = GammaExecution(cov=0.3)
+        rng = np.random.default_rng(4)
+        samples = [model.sample(TASK, 8.0, rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(8.0, rel=0.03)
+
+    def test_cov_tracks_parameter(self):
+        model = GammaExecution(cov=0.5)
+        rng = np.random.default_rng(5)
+        samples = np.array([model.sample(TASK, 8.0, rng) for _ in range(20000)])
+        assert samples.std() / samples.mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_zero_cov_degenerates(self):
+        model = GammaExecution(cov=0.0)
+        rng = np.random.default_rng(6)
+        assert model.sample(TASK, 8.0, rng) == 8.0
+
+    def test_negative_cov_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GammaExecution(cov=-0.5)
+
+
+class TestSpecs:
+    def test_none_is_deterministic(self):
+        assert isinstance(
+            execution_model_from_spec(None), DeterministicExecution
+        )
+
+    def test_round_trip(self):
+        model = LognormalExecution(sigma=0.3)
+        clone = execution_model_from_spec(model.spec())
+        assert isinstance(clone, LognormalExecution)
+        assert clone.sigma == 0.3
+
+    def test_gamma_spec(self):
+        model = execution_model_from_spec({"kind": "gamma", "cov": 0.2})
+        assert isinstance(model, GammaExecution)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execution_model_from_spec({"kind": "weibull"})
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execution_model_from_spec({"kind": "gamma", "sigma": 0.2})

@@ -1,0 +1,99 @@
+"""Bounded machine queues."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, SimulationStateError
+from repro.machines.machine_queue import UNBOUNDED, MachineQueue
+from repro.tasks.task import Task
+from repro.tasks.task_type import TaskType
+
+T = TaskType("T", 0)
+
+
+def task(i: int) -> Task:
+    return Task(id=i, task_type=T, arrival_time=0.0, deadline=100.0)
+
+
+class TestCapacity:
+    def test_unbounded_default(self):
+        q = MachineQueue()
+        assert not q.is_bounded
+        assert q.free_slots == UNBOUNDED
+        assert not q.is_full
+
+    def test_bounded(self):
+        q = MachineQueue(2)
+        assert q.is_bounded
+        assert q.free_slots == 2
+
+    def test_zero_capacity_always_full(self):
+        q = MachineQueue(0)
+        assert q.is_full
+
+    def test_fractional_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineQueue(1.5)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineQueue(-1)
+
+
+class TestFIFO:
+    def test_push_pop_order(self):
+        q = MachineQueue()
+        for i in range(3):
+            q.push(task(i))
+        assert [q.pop().id for _ in range(3)] == [0, 1, 2]
+
+    def test_push_full_raises(self):
+        q = MachineQueue(1)
+        q.push(task(0))
+        with pytest.raises(SimulationStateError):
+            q.push(task(1))
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationStateError):
+            MachineQueue().pop()
+
+    def test_peek(self):
+        q = MachineQueue()
+        assert q.peek() is None
+        t = task(0)
+        q.push(t)
+        assert q.peek() is t
+        assert len(q) == 1
+
+    def test_contains(self):
+        q = MachineQueue()
+        t = task(0)
+        q.push(t)
+        assert t in q
+        assert task(1) not in q
+
+    def test_free_slots_shrink(self):
+        q = MachineQueue(3)
+        q.push(task(0))
+        assert q.free_slots == 2
+
+
+class TestRemoval:
+    def test_remove_specific(self):
+        q = MachineQueue()
+        tasks = [task(i) for i in range(3)]
+        for t in tasks:
+            q.push(t)
+        assert q.remove(tasks[1])
+        assert [q.pop().id for _ in range(2)] == [0, 2]
+
+    def test_remove_absent_returns_false(self):
+        q = MachineQueue()
+        assert not q.remove(task(0))
+
+    def test_clear_returns_in_order(self):
+        q = MachineQueue()
+        for i in range(3):
+            q.push(task(i))
+        evicted = q.clear()
+        assert [t.id for t in evicted] == [0, 1, 2]
+        assert len(q) == 0

@@ -1,0 +1,112 @@
+"""Policy comparison utilities."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.comparison import PolicyComparison, compare_policies
+
+
+@pytest.fixture(scope="module")
+def comparison(request):
+    # Build from a module-local scenario to keep this fixture self-contained.
+    import numpy as np
+
+    from repro.core.config import Scenario
+    from repro.machines.eet import EETMatrix
+
+    eet = EETMatrix(
+        np.array([[4.0, 10.0], [9.0, 3.0], [5.0, 6.0]]),
+        ["T1", "T2", "T3"],
+        ["M1", "M2"],
+    )
+    scenario = Scenario(
+        eet=eet,
+        machine_counts={"M1": 1, "M2": 1},
+        scheduler="MECT",
+        generator={"duration": 150.0, "intensity": "high"},
+        seed=4,
+    )
+    return compare_policies(
+        scenario, ["FCFS", "MECT", "RANDOM"], replications=3
+    )
+
+
+class TestPolicyComparison:
+    def test_labels(self, comparison):
+        assert comparison.labels == ["FCFS", "MECT", "RANDOM"]
+
+    def test_replication_counts(self, comparison):
+        for label in comparison.labels:
+            assert len(comparison.metric_values(label, "completion_rate")) == 3
+
+    def test_mean_in_unit_interval(self, comparison):
+        for label in comparison.labels:
+            assert 0.0 <= comparison.mean(label, "completion_rate") <= 1.0
+
+    def test_interval_brackets_mean(self, comparison):
+        lo, hi = comparison.interval("MECT", "completion_rate")
+        assert lo <= comparison.mean("MECT", "completion_rate") <= hi
+
+    def test_ranking_sorted(self, comparison):
+        ranking = comparison.ranking("completion_rate")
+        values = [v for _, v in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_winner_beats_random(self, comparison):
+        # On a contended heterogeneous system the winner shouldn't be RANDOM.
+        assert comparison.winner("completion_rate") in ("FCFS", "MECT")
+
+    def test_table_rows(self, comparison):
+        rows = comparison.table(["completion_rate", "mean_wait_time"])
+        assert len(rows) == 3 * 2
+        assert {r["metric"] for r in rows} == {
+            "completion_rate",
+            "mean_wait_time",
+        }
+        for row in rows:
+            assert row["ci_low"] <= row["mean"] <= row["ci_high"]
+
+    def test_chart(self, comparison):
+        chart = comparison.chart(
+            "completion_rate", scale=100.0, unit="%"
+        )
+        assert len(chart.labels) == 3
+        assert "comparison" in chart.to_text()
+
+    def test_unknown_label_rejected(self, comparison):
+        with pytest.raises(ConfigurationError):
+            comparison.mean("NOPE", "completion_rate")
+
+    def test_unknown_metric_rejected(self, comparison):
+        with pytest.raises(ConfigurationError):
+            comparison.mean("MECT", "charisma")
+
+    def test_empty_winner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolicyComparison().winner("completion_rate")
+
+    def test_paired_replications(self, comparison):
+        """Replication i sees identical workloads across policies."""
+        fcfs = comparison.results["FCFS"]
+        mect = comparison.results["MECT"]
+        for a, b in zip(fcfs, mect):
+            assert a.summary.total_tasks == b.summary.total_tasks
+
+
+class TestCompareValidation:
+    def test_zero_replications_rejected(self):
+        import numpy as np
+
+        from repro.core.config import Scenario
+        from repro.machines.eet import EETMatrix
+
+        eet = EETMatrix(np.array([[4.0]]), ["T1"], ["M1"])
+        scenario = Scenario(
+            eet=eet,
+            machine_counts={"M1": 1},
+            scheduler="MECT",
+            generator={"duration": 10.0},
+            seed=1,
+        )
+        with pytest.raises(ConfigurationError):
+            compare_policies(scenario, ["FCFS"], replications=0)

@@ -1,0 +1,81 @@
+"""Cluster energy breakdown."""
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.metrics.energy import energy_breakdown
+from repro.scheduling.registry import create_scheduler
+
+
+class TestEnergyBreakdown:
+    def _run(self, powered_cluster, make_workload):
+        workload = make_workload([(0, 0.0, 100.0), (1, 0.0, 100.0)])
+        sim = Simulator(
+            cluster=powered_cluster,
+            workload=workload,
+            scheduler=create_scheduler("MECT"),
+        )
+        sim.run()
+        return powered_cluster
+
+    def test_total_is_idle_plus_busy(self, powered_cluster, make_workload):
+        cluster = self._run(powered_cluster, make_workload)
+        bd = energy_breakdown(cluster)
+        assert bd.total == pytest.approx(bd.idle + bd.busy)
+
+    def test_hand_computed_values(self, powered_cluster, make_workload):
+        # MECT: T1 -> M1 (4s @ 100W), T2 -> M2 (3s @ 50W). Simulation ends at
+        # the last event: deadline events at t=100 keep both meters running.
+        cluster = self._run(powered_cluster, make_workload)
+        bd = energy_breakdown(cluster)
+        assert bd.busy == pytest.approx(4 * 100.0 + 3 * 50.0)
+        # idle: M1 idles 96 s @ 10 W, M2 idles 97 s @ 5 W
+        assert bd.idle == pytest.approx(96 * 10.0 + 97 * 5.0)
+
+    def test_by_machine_sums_to_total(self, powered_cluster, make_workload):
+        cluster = self._run(powered_cluster, make_workload)
+        bd = energy_breakdown(cluster)
+        assert sum(bd.by_machine.values()) == pytest.approx(bd.total)
+
+    def test_by_machine_type_aggregates(self, eet_3x2, make_workload):
+        from repro.machines.cluster import Cluster
+        from repro.machines.power import PowerProfile
+
+        cluster = Cluster.build(
+            eet_3x2,
+            {"M1": 2, "M2": 1},
+            power_profiles={"M1": PowerProfile(idle_watts=1.0)},
+        )
+        sim = Simulator(
+            cluster=cluster,
+            workload=make_workload([(0, 0.0, 50.0)]),
+            scheduler=create_scheduler("MECT"),
+        )
+        sim.run()
+        bd = energy_breakdown(cluster)
+        assert set(bd.by_machine_type) == {"M1", "M2"}
+        assert bd.by_machine_type["M1"] == pytest.approx(
+            bd.by_machine["M1-0"] + bd.by_machine["M1-1"]
+        )
+
+    def test_idle_fraction(self, powered_cluster, make_workload):
+        cluster = self._run(powered_cluster, make_workload)
+        bd = energy_breakdown(cluster)
+        assert 0.0 < bd.idle_fraction < 1.0
+
+    def test_zero_power_cluster(self, cluster_3x2, make_workload):
+        sim = Simulator(
+            cluster=cluster_3x2,
+            workload=make_workload([(0, 0.0, 50.0)]),
+            scheduler=create_scheduler("MECT"),
+        )
+        sim.run()
+        bd = energy_breakdown(cluster_3x2)
+        assert bd.total == 0.0
+        assert bd.idle_fraction == 0.0
+
+    def test_as_dict(self, powered_cluster, make_workload):
+        cluster = self._run(powered_cluster, make_workload)
+        d = energy_breakdown(cluster).as_dict()
+        assert "total_energy" in d
+        assert "energy[M1]" in d

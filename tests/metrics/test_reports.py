@@ -1,0 +1,111 @@
+"""The four E2C reports: content, CSV export, menu lookup."""
+
+import io
+
+import pytest
+
+from repro.core.errors import ReportError
+from repro.metrics.reports import Report, ReportBundle
+
+
+@pytest.fixture
+def bundle(scenario_factory):
+    result = scenario_factory("MECT").run()
+    return result.reports, result
+
+
+class TestReportObject:
+    def test_missing_column_rejected(self):
+        with pytest.raises(ReportError):
+            Report("x", ["a", "b"], [{"a": 1}])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ReportError):
+            Report("x", [], [])
+
+    def test_to_dicts_ordered_and_filtered(self):
+        r = Report("x", ["b", "a"], [{"a": 1, "b": 2, "c": 3}])
+        assert r.to_dicts() == [{"b": 2, "a": 1}]
+
+    def test_csv_header(self):
+        r = Report("x", ["a", "b"], [{"a": 1, "b": 2.5}])
+        text = r.to_csv()
+        assert text.splitlines()[0] == "a,b"
+        assert text.splitlines()[1] == "1,2.5"
+
+    def test_csv_bool_formatting(self):
+        r = Report("x", ["ok"], [{"ok": True}, {"ok": False}])
+        lines = r.to_csv().splitlines()
+        assert lines[1:] == ["true", "false"]
+
+    def test_csv_to_stream(self):
+        r = Report("x", ["a"], [{"a": 1}])
+        buf = io.StringIO()
+        r.to_csv(buf)
+        assert buf.getvalue().startswith("a\n")
+
+    def test_to_text_contains_name_and_rows(self):
+        r = Report("My Report", ["col"], [{"col": "value"}])
+        text = r.to_text()
+        assert "My Report" in text
+        assert "value" in text
+
+    def test_len(self):
+        assert len(Report("x", ["a"], [{"a": 1}, {"a": 2}])) == 2
+
+
+class TestBundle:
+    def test_task_report_rows_match_workload(self, bundle):
+        reports, result = bundle
+        assert len(reports.task_report()) == result.summary.total_tasks
+
+    def test_machine_report_rows_match_cluster(self, bundle):
+        reports, _ = bundle
+        assert len(reports.machine_report()) == 2
+
+    def test_summary_report_key_values(self, bundle):
+        reports, result = bundle
+        rows = {r["metric"]: r["value"] for r in reports.summary_report().rows}
+        assert rows["total_tasks"] == result.summary.total_tasks
+        assert rows["completed"] == result.summary.completed
+
+    def test_full_report_includes_machine_type(self, bundle):
+        reports, _ = bundle
+        report = reports.full_report()
+        assert "machine_type" in report.columns
+        executed = [r for r in report.rows if r["machine"]]
+        assert all(r["machine_type"] for r in executed)
+
+    def test_by_name_matches_menu_labels(self, bundle):
+        reports, _ = bundle
+        assert reports.by_name("Full Report").name == "Full Report"
+        assert reports.by_name("task").name == "Task Report"
+        assert reports.by_name("MACHINE").name == "Machine Report"
+        assert reports.by_name("Summary").name == "Summary Report"
+
+    def test_by_name_unknown_rejected(self, bundle):
+        reports, _ = bundle
+        with pytest.raises(ReportError):
+            reports.by_name("Annual Report")
+
+    def test_save_all_writes_four_csvs(self, bundle, tmp_path):
+        reports, _ = bundle
+        paths = reports.save_all(tmp_path, prefix="run1_")
+        assert len(paths) == 4
+        names = {p.name for p in paths}
+        assert names == {
+            "run1_full_report.csv",
+            "run1_task_report.csv",
+            "run1_machine_report.csv",
+            "run1_summary_report.csv",
+        }
+        for p in paths:
+            assert p.read_text(encoding="utf-8").count("\n") >= 1
+
+    def test_csv_round_trip_row_count(self, bundle):
+        import csv
+
+        reports, result = bundle
+        text = reports.task_report().to_csv()
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == result.summary.total_tasks

@@ -1,0 +1,95 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.metrics.stats import (
+    confidence_interval,
+    jain_fairness,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.median == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_single_sample_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_ddof1_std(self):
+        s = summarize([1.0, 3.0])
+        assert s.std == pytest.approx(math.sqrt(2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"n", "mean", "std", "min", "median", "max"}
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        lo, hi = confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert lo < 3.0 < hi
+
+    def test_symmetric_around_mean(self):
+        lo, hi = confidence_interval([2.0, 4.0, 6.0])
+        assert (lo + hi) / 2 == pytest.approx(4.0)
+
+    def test_single_sample_degenerate(self):
+        assert confidence_interval([7.0]) == (7.0, 7.0)
+
+    def test_zero_variance_collapses(self):
+        lo, hi = confidence_interval([3.0, 3.0, 3.0])
+        assert lo == hi == 3.0
+
+    def test_more_samples_tighter(self):
+        wide = confidence_interval([1.0, 5.0, 3.0])
+        narrow = confidence_interval([1.0, 5.0, 3.0] * 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([])
+
+    def test_unsupported_level_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], level=0.99)
+
+
+class TestJainFairness:
+    def test_perfectly_fair(self):
+        assert jain_fairness([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_perfectly_unfair(self):
+        # One of n gets everything -> index = 1/n.
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_bounds(self):
+        value = jain_fairness([0.9, 0.5, 0.1])
+        assert 1.0 / 3.0 < value < 1.0
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        assert jain_fairness([1.0, 2.0]) == pytest.approx(
+            jain_fairness([10.0, 20.0])
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([-1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])

@@ -1,0 +1,144 @@
+"""Property-based tests of scheduling policies against reference semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.cluster import Cluster
+from repro.machines.eet import EETMatrix
+from repro.scheduling.context import SchedulingContext
+from repro.scheduling.registry import create_scheduler
+from repro.tasks.task import Task
+from repro.tasks.task_type import TaskType
+
+
+@st.composite
+def mapping_instance(draw):
+    n_types = draw(st.integers(min_value=1, max_value=4))
+    n_machines = draw(st.integers(min_value=1, max_value=4))
+    values = np.array(
+        [
+            [
+                draw(st.floats(min_value=0.5, max_value=30.0, allow_nan=False))
+                for _ in range(n_machines)
+            ]
+            for _ in range(n_types)
+        ]
+    )
+    task_types = [TaskType(f"T{i}", i) for i in range(n_types)]
+    eet = EETMatrix(values, task_types, [f"M{j}" for j in range(n_machines)])
+    n_tasks = draw(st.integers(min_value=1, max_value=10))
+    specs = [
+        (
+            draw(st.integers(0, n_types - 1)),
+            draw(st.floats(min_value=1.0, max_value=200.0, allow_nan=False)),
+        )
+        for _ in range(n_tasks)
+    ]
+    return eet, specs
+
+
+def make_context(eet, specs, capacity=float("inf")):
+    cluster = Cluster.build(
+        eet, {n: 1 for n in eet.machine_type_names}, queue_capacity=capacity
+    )
+    tasks = []
+    for i, (ti, deadline) in enumerate(specs):
+        t = Task(
+            id=i,
+            task_type=eet.task_types[ti],
+            arrival_time=0.0,
+            deadline=deadline,
+        )
+        t.enqueue_batch()
+        tasks.append(t)
+    return SchedulingContext(
+        now=0.0, pending=tasks, cluster=cluster,
+        rng=np.random.default_rng(0),
+    ), tasks
+
+
+@given(mapping_instance())
+@settings(max_examples=60, deadline=None)
+def test_minmin_matches_reference(instance):
+    eet, specs = instance
+    ctx, tasks = make_context(eet, specs)
+    got = create_scheduler("MM").schedule(ctx)
+
+    values = eet.values
+    ready = np.zeros(eet.n_machine_types)
+    remaining = list(range(len(tasks)))
+    expected = []
+    while remaining:
+        best = None
+        for i in remaining:
+            completions = ready + values[tasks[i].task_type.index]
+            j = int(np.argmin(completions))
+            key = (completions[j], i, j)
+            if best is None or key < best:
+                best = key
+        _, i, j = best
+        expected.append((i, j))
+        ready[j] += values[tasks[i].task_type.index][j]
+        remaining.remove(i)
+
+    assert [(a.task.id, a.machine.id) for a in got] == expected
+
+
+@given(mapping_instance())
+@settings(max_examples=60, deadline=None)
+def test_mect_is_argmin_of_completion(instance):
+    eet, specs = instance
+    ctx, tasks = make_context(eet, specs)
+    scheduler = create_scheduler("MECT")
+    for task in tasks:
+        single = SchedulingContext(
+            now=0.0, pending=[task], cluster=ctx.cluster,
+            rng=np.random.default_rng(0),
+        )
+        (assignment,) = scheduler.schedule(single)
+        completions = ctx.cluster.completion_times(task, 0.0)
+        assert completions[assignment.machine.id] == completions.min()
+        assignment.machine.enqueue(task, 0.0)
+
+
+@given(mapping_instance())
+@settings(max_examples=60, deadline=None)
+def test_meet_is_argmin_of_eet(instance):
+    eet, specs = instance
+    ctx, tasks = make_context(eet, specs)
+    scheduler = create_scheduler("MEET")
+    for task in tasks:
+        single = SchedulingContext(
+            now=0.0, pending=[task], cluster=ctx.cluster,
+            rng=np.random.default_rng(0),
+        )
+        (assignment,) = scheduler.schedule(single)
+        eets = ctx.cluster.eet_vector(task)
+        assert eets[assignment.machine.id] == eets.min()
+
+
+@given(mapping_instance(), st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_batch_policies_respect_capacity_and_uniqueness(instance, capacity):
+    eet, specs = instance
+    for policy in ("MM", "MAXMIN", "SUFFERAGE", "MMU", "MSD", "ELARE", "FELARE"):
+        ctx, tasks = make_context(eet, specs, capacity=capacity)
+        assignments = create_scheduler(policy).schedule(ctx)
+        per_machine: dict[int, int] = {}
+        seen_tasks = set()
+        for a in assignments:
+            per_machine[a.machine.id] = per_machine.get(a.machine.id, 0) + 1
+            assert a.task.id not in seen_tasks
+            seen_tasks.add(a.task.id)
+        assert all(v <= capacity for v in per_machine.values())
+
+
+@given(mapping_instance())
+@settings(max_examples=40, deadline=None)
+def test_batch_policies_map_everything_when_capacity_allows(instance):
+    eet, specs = instance
+    for policy in ("MM", "MAXMIN", "SUFFERAGE", "MMU", "MSD", "ELARE", "FELARE"):
+        ctx, tasks = make_context(eet, specs, capacity=float("inf"))
+        assignments = create_scheduler(policy).schedule(ctx)
+        assert len(assignments) == len(tasks)

@@ -1,0 +1,52 @@
+"""Property-based tests: workload generation and trace round-trips."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines.eet_generation import generate_eet_cvb
+from repro.tasks.generator import WorkloadGenerator
+from repro.tasks.trace_io import read_workload_csv, write_workload_csv
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+intensities = st.one_of(
+    st.sampled_from(["low", "medium", "high"]),
+    st.floats(min_value=0.1, max_value=4.0, allow_nan=False),
+)
+
+
+@given(seeds, intensities)
+@settings(max_examples=30, deadline=None)
+def test_generated_workload_invariants(seed, intensity):
+    eet = generate_eet_cvb(3, 3, seed=7)
+    gen = WorkloadGenerator(eet)
+    w = gen.generate(80.0, intensity=intensity, seed=seed)
+    arrivals = [t.arrival_time for t in w]
+    assert arrivals == sorted(arrivals)
+    assert all(0.0 <= a < 80.0 for a in arrivals)
+    assert all(t.deadline > t.arrival_time for t in w)
+    assert [t.id for t in w] == list(range(len(w)))
+
+
+@given(seeds)
+@settings(max_examples=20, deadline=None)
+def test_trace_round_trip(seed):
+    eet = generate_eet_cvb(3, 3, seed=3)
+    w = WorkloadGenerator(eet).generate(60.0, seed=seed)
+    text = write_workload_csv(w)
+    again = read_workload_csv(io.StringIO(text))
+    assert len(again) == len(w)
+    for a, b in zip(w, again):
+        assert a.id == b.id
+        assert a.task_type.name == b.task_type.name
+        assert abs(a.arrival_time - b.arrival_time) < 1e-6
+        assert abs(a.deadline - b.deadline) < 1e-6
+
+
+@given(seeds, st.integers(min_value=1, max_value=60))
+@settings(max_examples=20, deadline=None)
+def test_generate_count_exact(seed, n):
+    eet = generate_eet_cvb(2, 2, seed=1)
+    w = WorkloadGenerator(eet).generate_count(n, seed=seed)
+    assert len(w) == n

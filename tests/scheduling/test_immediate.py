@@ -1,0 +1,251 @@
+"""Immediate policies: machine choices on hand-built cluster states.
+
+System under test (eet_3x2 fixture):
+
+           M1    M2
+    T1    4.0  10.0
+    T2    9.0   3.0
+    T3    5.0   6.0
+"""
+
+import numpy as np
+import pytest
+
+from repro.machines.cluster import Cluster
+from repro.scheduling.context import SchedulingContext
+from repro.scheduling.registry import create_scheduler
+from repro.tasks.task import Task
+
+
+def pending_task(task_types, type_idx=0, task_id=0, deadline=100.0) -> Task:
+    t = Task(
+        id=task_id,
+        task_type=task_types[type_idx],
+        arrival_time=0.0,
+        deadline=deadline,
+    )
+    t.enqueue_batch()
+    return t
+
+
+def occupy(machine, task_types, type_idx, now=0.0):
+    """Give the machine a running task of the given type."""
+    t = pending_task(task_types, type_idx, task_id=900 + machine.id)
+    machine.enqueue(t, now)
+    machine.start_next(now)
+    return t
+
+
+def ctx_for(cluster, task, now=0.0, rng_seed=0):
+    return SchedulingContext(
+        now=now,
+        pending=[task],
+        cluster=cluster,
+        rng=np.random.default_rng(rng_seed),
+    )
+
+
+class TestFCFS:
+    def test_all_idle_picks_first(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        task = pending_task(task_types, 0)
+        scheduler = create_scheduler("FCFS")
+        (a,) = scheduler.schedule(ctx_for(cluster, task))
+        assert a.machine.id == 0
+
+    def test_picks_earliest_ready_ignoring_eet(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        occupy(cluster[0], task_types, 1)  # M1 busy 9s with T2
+        # T1 arrives: FCFS ignores that M1 is 2.5x faster for T1 and takes
+        # the idle M2.
+        task = pending_task(task_types, 0)
+        (a,) = create_scheduler("FCFS").schedule(ctx_for(cluster, task))
+        assert a.machine.id == 1
+
+
+class TestMECT:
+    def test_picks_min_completion(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        task = pending_task(task_types, 0)  # T1: 4 vs 10 -> M1
+        (a,) = create_scheduler("MECT").schedule(ctx_for(cluster, task))
+        assert a.machine.id == 0
+
+    def test_accounts_for_load(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        occupy(cluster[0], task_types, 1)  # M1 busy until 9
+        # T1: M1 -> 9 + 4 = 13; M2 -> 0 + 10 = 10 -> M2 wins
+        task = pending_task(task_types, 0)
+        (a,) = create_scheduler("MECT").schedule(ctx_for(cluster, task))
+        assert a.machine.id == 1
+
+    def test_t2_prefers_m2(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        task = pending_task(task_types, 1)  # T2: 9 vs 3 -> M2
+        (a,) = create_scheduler("MECT").schedule(ctx_for(cluster, task))
+        assert a.machine.id == 1
+
+
+class TestMEET:
+    def test_ignores_load(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        occupy(cluster[0], task_types, 1)  # M1 heavily loaded
+        # MEET still sends T1 to M1 (EET 4 < 10) despite the queue.
+        task = pending_task(task_types, 0)
+        (a,) = create_scheduler("MEET").schedule(ctx_for(cluster, task))
+        assert a.machine.id == 0
+
+    def test_index_tie_break_on_homogeneous(self, eet_homogeneous, task_types):
+        cluster = Cluster.build(eet_homogeneous, {"A": 1, "B": 1, "C": 1})
+        occupy(cluster[0], task_types, 0)
+        task = pending_task(task_types, 0, task_id=1)
+        (a,) = create_scheduler("MEET").schedule(ctx_for(cluster, task))
+        assert a.machine.id == 0  # faithful argmin: still machine 0
+
+    def test_ready_time_tie_break_variant(self, eet_homogeneous, task_types):
+        cluster = Cluster.build(eet_homogeneous, {"A": 1, "B": 1, "C": 1})
+        occupy(cluster[0], task_types, 0)
+        task = pending_task(task_types, 0, task_id=1)
+        scheduler = create_scheduler("MEET", tie_break="ready_time")
+        (a,) = scheduler.schedule(ctx_for(cluster, task))
+        assert a.machine.id == 1  # least-loaded among EET ties
+
+    def test_bad_tie_break_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            create_scheduler("MEET", tie_break="coin_flip")
+
+
+class TestOLB:
+    def test_matches_fcfs_choice(self, eet_3x2, task_types):
+        c1 = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        c2 = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        occupy(c1[0], task_types, 1)
+        occupy(c2[0], task_types, 1)
+        t1 = pending_task(task_types, 0)
+        t2 = pending_task(task_types, 0)
+        (a1,) = create_scheduler("FCFS").schedule(ctx_for(c1, t1))
+        (a2,) = create_scheduler("OLB").schedule(ctx_for(c2, t2))
+        assert a1.machine.id == a2.machine.id
+
+
+class TestRoundRobin:
+    def test_cycles(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        scheduler = create_scheduler("RR")
+        choices = []
+        for i in range(4):
+            task = pending_task(task_types, 0, task_id=i)
+            (a,) = scheduler.schedule(ctx_for(cluster, task))
+            choices.append(a.machine.id)
+        assert choices == [0, 1, 0, 1]
+
+    def test_reset_restarts_cycle(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        scheduler = create_scheduler("RR")
+        scheduler.schedule(ctx_for(cluster, pending_task(task_types, 0)))
+        scheduler.reset()
+        (a,) = scheduler.schedule(
+            ctx_for(cluster, pending_task(task_types, 0, task_id=1))
+        )
+        assert a.machine.id == 0
+
+
+class TestRandom:
+    def test_seed_determinism(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        scheduler = create_scheduler("RANDOM")
+
+        def choices(seed):
+            rng = np.random.default_rng(seed)
+            out = []
+            for i in range(10):
+                task = pending_task(task_types, 0, task_id=i)
+                ctx = SchedulingContext(
+                    now=0.0, pending=[task], cluster=cluster, rng=rng
+                )
+                (a,) = scheduler.schedule(ctx)
+                out.append(a.machine.id)
+            return out
+
+        assert choices(5) == choices(5)
+
+    def test_covers_all_machines(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        scheduler = create_scheduler("RANDOM")
+        rng = np.random.default_rng(0)
+        seen = set()
+        for i in range(50):
+            task = pending_task(task_types, 0, task_id=i)
+            ctx = SchedulingContext(
+                now=0.0, pending=[task], cluster=cluster, rng=rng
+            )
+            (a,) = scheduler.schedule(ctx)
+            seen.add(a.machine.id)
+        assert seen == {0, 1}
+
+
+class TestKPB:
+    def test_k100_equals_mect(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        occupy(cluster[0], task_types, 1)
+        t_kpb = pending_task(task_types, 0)
+        t_mect = pending_task(task_types, 0, task_id=1)
+        (a_kpb,) = create_scheduler("KPB", k=100.0).schedule(
+            ctx_for(cluster, t_kpb)
+        )
+        (a_mect,) = create_scheduler("MECT").schedule(ctx_for(cluster, t_mect))
+        assert a_kpb.machine.id == a_mect.machine.id
+
+    def test_small_k_equals_meet(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        occupy(cluster[0], task_types, 1)
+        task = pending_task(task_types, 0)
+        # k=50% of 2 machines -> subset of 1 (best EET) -> MEET behaviour
+        (a,) = create_scheduler("KPB", k=50.0).schedule(ctx_for(cluster, task))
+        assert a.machine.id == 0
+
+    def test_invalid_k_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            create_scheduler("KPB", k=0.0)
+        with pytest.raises(ConfigurationError):
+            create_scheduler("KPB", k=150.0)
+
+
+class TestSwitching:
+    def test_starts_in_mct_mode(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        occupy(cluster[0], task_types, 1)  # imbalanced: r = 0/9 = 0
+        task = pending_task(task_types, 0)
+        scheduler = create_scheduler("SA")
+        (a,) = scheduler.schedule(ctx_for(cluster, task))
+        # MCT choice: M1 busy 9 + 4 = 13 vs M2 idle 10 -> M2
+        assert a.machine.id == 1
+
+    def test_switches_to_met_when_balanced(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        # Perfectly balanced (both idle, r = 1 >= r_high) -> MET mode:
+        # T1 goes to M1 on EET even after M1 accumulates load.
+        scheduler = create_scheduler("SA", r_low=0.1, r_high=0.9)
+        first = pending_task(task_types, 0, task_id=0)
+        (a0,) = scheduler.schedule(ctx_for(cluster, first))
+        assert a0.machine.id == 0
+        a0.machine.enqueue(first, 0.0)
+        a0.machine.start_next(0.0)
+        second = pending_task(task_types, 0, task_id=1)
+        (a1,) = scheduler.schedule(ctx_for(cluster, second))
+        assert a1.machine.id == 0  # still MET: r = 0/4 ... switched back?
+
+    def test_reset_returns_to_mct(self):
+        scheduler = create_scheduler("SA")
+        scheduler._met_mode = True
+        scheduler.reset()
+        assert scheduler._met_mode is False
+
+    def test_invalid_thresholds_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            create_scheduler("SA", r_low=0.9, r_high=0.5)

@@ -1,0 +1,110 @@
+"""Scheduler registry: lookup, aliases, plugin registration."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, UnknownSchedulerError
+from repro.scheduling.base import (
+    ImmediateScheduler,
+    Scheduler,
+    SchedulingMode,
+)
+from repro.scheduling.registry import (
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+    scheduler_class,
+)
+
+
+class TestLookup:
+    def test_paper_immediate_policies_present(self):
+        names = available_schedulers(SchedulingMode.IMMEDIATE)
+        for name in ("FCFS", "MECT", "MEET"):
+            assert name in names
+
+    def test_paper_batch_policies_present(self):
+        names = available_schedulers(SchedulingMode.BATCH)
+        for name in ("MM", "MMU", "MSD", "ELARE", "FELARE"):
+            assert name in names
+
+    def test_classic_extensions_present(self):
+        names = available_schedulers()
+        for name in ("OLB", "RR", "RANDOM", "KPB", "SA", "MAXMIN", "SUFFERAGE"):
+            assert name in names
+
+    def test_case_insensitive(self):
+        assert scheduler_class("mect") is scheduler_class("MECT")
+
+    def test_aliases(self):
+        assert scheduler_class("MCT") is scheduler_class("MECT")
+        assert scheduler_class("MET") is scheduler_class("MEET")
+        assert scheduler_class("MINMIN") is scheduler_class("MM")
+        assert scheduler_class("MIN-MIN") is scheduler_class("MM")
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownSchedulerError):
+            scheduler_class("HYPOTHETICAL")
+
+    def test_create_with_params(self):
+        scheduler = create_scheduler("KPB", k=25.0)
+        assert scheduler.k == 25.0
+
+    def test_create_with_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            create_scheduler("FCFS", bogus=1)
+
+    def test_sorted_listing(self):
+        names = available_schedulers()
+        assert names == sorted(names)
+
+
+class TestPluginRegistration:
+    def test_custom_policy_registrable(self, cluster_3x2, task_types):
+        import uuid
+
+        unique = f"TESTPOLICY_{uuid.uuid4().hex[:8].upper()}"
+
+        @register_scheduler
+        class AlwaysFirst(ImmediateScheduler):
+            name = unique
+            description = "test-only policy"
+
+            def choose_machine(self, task, ctx):
+                return ctx.cluster.machines[0]
+
+        assert unique in available_schedulers()
+        scheduler = create_scheduler(unique)
+        assert isinstance(scheduler, AlwaysFirst)
+
+    def test_nameless_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+
+            @register_scheduler
+            class Nameless(ImmediateScheduler):
+                name = ""
+
+                def choose_machine(self, task, ctx):  # pragma: no cover
+                    return None
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+
+            @register_scheduler
+            class FakeMect(ImmediateScheduler):
+                name = "MECT"
+
+                def choose_machine(self, task, ctx):  # pragma: no cover
+                    return None
+
+    def test_alias_collision_with_name_rejected(self):
+        import uuid
+
+        unique = f"TP_{uuid.uuid4().hex[:8].upper()}"
+        with pytest.raises(ConfigurationError):
+
+            @register_scheduler(aliases=("FCFS",))
+            class Colliding(ImmediateScheduler):
+                name = unique
+
+                def choose_machine(self, task, ctx):  # pragma: no cover
+                    return None

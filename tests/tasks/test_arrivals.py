@@ -1,0 +1,125 @@
+"""Arrival processes: windows, intensity scaling, spec round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tasks.arrivals import (
+    BurstyProcess,
+    ConstantProcess,
+    NormalProcess,
+    PoissonProcess,
+    UniformProcess,
+    arrival_process_from_spec,
+)
+
+ALL_PROCESSES = [
+    PoissonProcess(rate=2.0),
+    UniformProcess(low=0.1, high=0.5),
+    NormalProcess(mean=0.4, std=0.1),
+    ConstantProcess(period=0.25),
+    BurstyProcess(burst_rate=5.0, burst_duration=2.0, idle_duration=1.0),
+]
+
+
+@pytest.mark.parametrize("process", ALL_PROCESSES, ids=lambda p: p.kind)
+class TestAllProcesses:
+    def test_times_sorted_and_in_window(self, process):
+        times = process.generate(10.0, 50.0, rng=1)
+        assert np.all(np.diff(times) >= 0)
+        assert times.size == 0 or (times[0] >= 10.0 and times[-1] < 50.0)
+
+    def test_deterministic_under_seed(self, process):
+        a = process.generate(0.0, 30.0, rng=7)
+        b = process.generate(0.0, 30.0, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_window(self, process):
+        assert process.generate(5.0, 5.0, rng=0).size == 0
+
+    def test_higher_intensity_more_arrivals(self, process):
+        low = process.generate(0.0, 200.0, rng=3, intensity=0.5).size
+        high = process.generate(0.0, 200.0, rng=3, intensity=2.0).size
+        assert high > low
+
+    def test_invalid_window_rejected(self, process):
+        with pytest.raises(ConfigurationError):
+            process.generate(10.0, 5.0, rng=0)
+
+    def test_invalid_intensity_rejected(self, process):
+        with pytest.raises(ConfigurationError):
+            process.generate(0.0, 10.0, rng=0, intensity=0.0)
+
+    def test_spec_round_trip(self, process):
+        clone = arrival_process_from_spec(process.spec())
+        a = process.generate(0.0, 20.0, rng=5)
+        b = clone.generate(0.0, 20.0, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRates:
+    def test_poisson_empirical_rate(self):
+        process = PoissonProcess(rate=3.0)
+        times = process.generate(0.0, 1000.0, rng=11)
+        assert times.size == pytest.approx(3000, rel=0.1)
+
+    def test_constant_exact_count(self):
+        process = ConstantProcess(period=1.0)
+        times = process.generate(0.0, 10.0, rng=0)
+        # arrivals at 1, 2, ..., 9 (cumulative gaps inside [0, 10))
+        assert times.size == 9
+
+    def test_uniform_mean_rate(self):
+        process = UniformProcess(low=0.2, high=0.6)
+        assert process.mean_rate() == pytest.approx(2.0 / 0.8)
+
+    def test_bursty_mean_rate_uses_duty_cycle(self):
+        process = BurstyProcess(
+            burst_rate=10.0, burst_duration=1.0, idle_duration=1.0
+        )
+        assert process.mean_rate() == pytest.approx(5.0)
+
+    def test_intensity_scales_poisson_rate(self):
+        process = PoissonProcess(rate=2.0)
+        n = process.generate(0.0, 1000.0, rng=13, intensity=2.0).size
+        assert n == pytest.approx(4000, rel=0.1)
+
+
+class TestValidation:
+    def test_poisson_rate_positive(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(rate=0.0)
+
+    def test_uniform_ordering(self):
+        with pytest.raises(ConfigurationError):
+            UniformProcess(low=1.0, high=0.5)
+
+    def test_normal_mean_positive(self):
+        with pytest.raises(ConfigurationError):
+            NormalProcess(mean=0.0, std=0.1)
+
+    def test_constant_period_positive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantProcess(period=-1.0)
+
+    def test_bursty_positive_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BurstyProcess(burst_rate=0.0, burst_duration=1.0, idle_duration=1.0)
+
+    def test_spec_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            arrival_process_from_spec({"kind": "zipf"})
+
+    def test_spec_missing_kind(self):
+        with pytest.raises(ConfigurationError):
+            arrival_process_from_spec({"rate": 2.0})
+
+    def test_spec_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            arrival_process_from_spec({"kind": "poisson", "lam": 2.0})
+
+    def test_exponential_alias(self):
+        process = arrival_process_from_spec(
+            {"kind": "exponential", "rate": 1.5}
+        )
+        assert isinstance(process, PoissonProcess)

@@ -1,0 +1,56 @@
+"""TaskType validation and builders."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tasks.task_type import TaskType, build_task_types
+
+
+class TestTaskType:
+    def test_basic_construction(self):
+        t = TaskType("detect", 0, relative_deadline=5.0)
+        assert t.name == "detect"
+        assert t.index == 0
+        assert str(t) == "detect"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskType("", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskType("x", -1)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskType("x", 0, relative_deadline=0.0)
+
+    def test_negative_footprints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskType("x", 0, memory=-1.0)
+        with pytest.raises(ConfigurationError):
+            TaskType("x", 0, data_in=-1.0)
+
+    def test_frozen(self):
+        t = TaskType("x", 0)
+        with pytest.raises(AttributeError):
+            t.name = "y"  # type: ignore[misc]
+
+
+class TestBuildTaskTypes:
+    def test_indices_assigned_in_order(self):
+        types = build_task_types(["a", "b", "c"])
+        assert [t.index for t in types] == [0, 1, 2]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_task_types(["a", "a"])
+
+    def test_deadlines_attached(self):
+        types = build_task_types(["a", "b"], relative_deadlines=[3.0, 4.0])
+        assert types[0].relative_deadline == 3.0
+        assert types[1].relative_deadline == 4.0
+
+    def test_deadline_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_task_types(["a", "b"], relative_deadlines=[3.0])

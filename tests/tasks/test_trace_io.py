@@ -1,0 +1,122 @@
+"""Workload CSV round-trips and error handling (Fig-2 file formats)."""
+
+import io
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.tasks.task_type import TaskType
+from repro.tasks.trace_io import (
+    read_workload_csv,
+    workload_from_rows,
+    write_workload_csv,
+)
+
+CSV_BASIC = """task_id,task_type,arrival_time,deadline
+0,T1,0.0,10.0
+1,T2,1.5,21.5
+2,T1,3.0,13.0
+"""
+
+CSV_NO_DEADLINE = """task_id,task_type,arrival_time
+0,T1,0.0
+1,T2,2.0
+"""
+
+
+class TestRead:
+    def test_basic_parse(self):
+        w = read_workload_csv(io.StringIO(CSV_BASIC))
+        assert len(w) == 3
+        assert w[0].task_type.name == "T1"
+        assert w[1].deadline == 21.5
+
+    def test_types_inferred_in_first_appearance_order(self):
+        w = read_workload_csv(io.StringIO(CSV_BASIC))
+        assert [t.name for t in w.task_types] == ["T1", "T2"]
+        assert [t.index for t in w.task_types] == [0, 1]
+
+    def test_explicit_task_types_respected(self):
+        types = [TaskType("T1", 0), TaskType("T2", 1), TaskType("T3", 2)]
+        w = read_workload_csv(io.StringIO(CSV_BASIC), task_types=types)
+        assert len(w.task_types) == 3
+
+    def test_unknown_type_with_explicit_universe_rejected(self):
+        types = [TaskType("T1", 0)]
+        with pytest.raises(WorkloadError):
+            read_workload_csv(io.StringIO(CSV_BASIC), task_types=types)
+
+    def test_missing_deadline_uses_default(self):
+        w = read_workload_csv(
+            io.StringIO(CSV_NO_DEADLINE), default_relative_deadline=5.0
+        )
+        assert w[0].deadline == 5.0
+        assert w[1].deadline == 7.0
+
+    def test_missing_deadline_uses_type_relative(self):
+        types = [
+            TaskType("T1", 0, relative_deadline=3.0),
+            TaskType("T2", 1, relative_deadline=4.0),
+        ]
+        w = read_workload_csv(io.StringIO(CSV_NO_DEADLINE), task_types=types)
+        assert w[0].deadline == 3.0
+        assert w[1].deadline == 6.0
+
+    def test_missing_deadline_without_fallback_rejected(self):
+        with pytest.raises(WorkloadError):
+            read_workload_csv(io.StringIO(CSV_NO_DEADLINE))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(WorkloadError):
+            read_workload_csv(io.StringIO(""))
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(WorkloadError):
+            read_workload_csv(io.StringIO("task_id,when\n0,1.0\n"))
+
+    def test_bad_number_reports_line(self):
+        bad = "task_id,task_type,arrival_time,deadline\n0,T1,abc,1.0\n"
+        with pytest.raises(WorkloadError, match="line 2"):
+            read_workload_csv(io.StringIO(bad))
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "workload.csv"
+        path.write_text(CSV_BASIC, encoding="utf-8")
+        assert len(read_workload_csv(path)) == 3
+
+
+class TestWrite:
+    def test_round_trip(self):
+        original = read_workload_csv(io.StringIO(CSV_BASIC))
+        text = write_workload_csv(original)
+        again = read_workload_csv(io.StringIO(text))
+        assert [
+            (t.id, t.task_type.name, t.arrival_time, t.deadline)
+            for t in again
+        ] == [
+            (t.id, t.task_type.name, t.arrival_time, t.deadline)
+            for t in original
+        ]
+
+    def test_write_to_path(self, tmp_path):
+        original = read_workload_csv(io.StringIO(CSV_BASIC))
+        path = tmp_path / "out.csv"
+        write_workload_csv(original, path)
+        assert path.read_text(encoding="utf-8").startswith("task_id,")
+
+    def test_write_to_stream(self):
+        original = read_workload_csv(io.StringIO(CSV_BASIC))
+        buf = io.StringIO()
+        write_workload_csv(original, buf)
+        assert buf.getvalue().count("\n") == 4  # header + 3 rows
+
+
+class TestWorkloadFromRows:
+    def test_rows_to_workload(self):
+        rows = [
+            {"task_id": 0, "task_type": "A", "arrival_time": 0.0, "deadline": 5.0},
+            {"task_id": 1, "task_type": "B", "arrival_time": 1.0, "deadline": 6.0},
+        ]
+        w = workload_from_rows(rows)
+        assert len(w) == 2
+        assert [t.name for t in w.task_types] == ["A", "B"]

@@ -1,0 +1,199 @@
+"""CLI: subcommand behaviour end-to-end (in-process)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.machines.eet import EETMatrix
+
+
+@pytest.fixture
+def csv_files(tmp_path):
+    eet = EETMatrix(
+        np.array([[4.0, 10.0], [9.0, 3.0]]), ["T1", "T2"], ["M1", "M2"]
+    )
+    eet_path = tmp_path / "eet.csv"
+    eet.to_csv(eet_path)
+    workload_path = tmp_path / "workload.csv"
+    workload_path.write_text(
+        "task_id,task_type,arrival_time,deadline\n"
+        "0,T1,0.0,50.0\n"
+        "1,T2,1.0,51.0\n",
+        encoding="utf-8",
+    )
+    return eet_path, workload_path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "e2c-sim" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_with_csvs(self, csv_files, capsys):
+        eet_path, workload_path = csv_files
+        code = main(
+            ["run", "--eet", str(eet_path), "--workload", str(workload_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Summary Report" in out
+        assert "completion_rate" in out
+
+    def test_run_task_report(self, csv_files, capsys):
+        eet_path, workload_path = csv_files
+        code = main(
+            [
+                "run",
+                "--eet", str(eet_path),
+                "--workload", str(workload_path),
+                "--report", "task",
+            ]
+        )
+        assert code == 0
+        assert "Task Report" in capsys.readouterr().out
+
+    def test_run_save_reports(self, csv_files, tmp_path, capsys):
+        eet_path, workload_path = csv_files
+        outdir = tmp_path / "reports"
+        code = main(
+            [
+                "run",
+                "--eet", str(eet_path),
+                "--workload", str(workload_path),
+                "--save-reports", str(outdir),
+            ]
+        )
+        assert code == 0
+        assert len(list(outdir.glob("*.csv"))) == 4
+
+    def test_run_batch_policy_with_queue_size(self, csv_files, capsys):
+        eet_path, workload_path = csv_files
+        code = main(
+            [
+                "run",
+                "--eet", str(eet_path),
+                "--workload", str(workload_path),
+                "--scheduler", "MM",
+                "--queue-size", "2",
+            ]
+        )
+        assert code == 0
+
+    def test_run_animate(self, csv_files, capsys):
+        eet_path, workload_path = csv_files
+        code = main(
+            [
+                "run",
+                "--eet", str(eet_path),
+                "--workload", str(workload_path),
+                "--animate",
+                "--frame-every", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "current time" in out
+
+    def test_run_scenario_json(self, scenario_factory, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        scenario_factory("MM", queue_capacity=2).to_json(path)
+        code = main(["run", "--scenario", str(path)])
+        assert code == 0
+        assert "Summary Report" in capsys.readouterr().out
+
+    def test_run_missing_inputs_errors(self, capsys):
+        code = main(["run"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_scheduler_reports_error(self, csv_files, capsys):
+        eet_path, workload_path = csv_files
+        code = main(
+            [
+                "run",
+                "--eet", str(eet_path),
+                "--workload", str(workload_path),
+                "--scheduler", "WISHFUL",
+            ]
+        )
+        assert code == 1
+        assert "unknown scheduler" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_generate_workload(self, csv_files, tmp_path, capsys):
+        eet_path, _ = csv_files
+        out = tmp_path / "generated.csv"
+        code = main(
+            [
+                "generate",
+                "--eet", str(eet_path),
+                "--out", str(out),
+                "--duration", "200",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("task_id,task_type,arrival_time,deadline")
+        assert len(text.splitlines()) > 2
+
+    def test_generate_numeric_intensity(self, csv_files, tmp_path):
+        eet_path, _ = csv_files
+        out = tmp_path / "generated.csv"
+        code = main(
+            [
+                "generate",
+                "--eet", str(eet_path),
+                "--out", str(out),
+                "--intensity", "1.5",
+                "--seed", "3",
+            ]
+        )
+        assert code == 0
+
+
+class TestOtherCommands:
+    def test_schedulers_listing(self, capsys):
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "MECT" in out and "MM" in out
+
+    def test_schedulers_mode_filter(self, capsys):
+        assert main(["schedulers", "--mode", "batch"]) == 0
+        out = capsys.readouterr().out
+        assert "MM" in out
+        assert "FCFS" not in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "CloudSim" in capsys.readouterr().out
+
+    def test_quiz(self, capsys):
+        assert main(["quiz", "--seed", "1"]) == 0
+        assert "Scheduling quiz" in capsys.readouterr().out
+
+    def test_quiz_with_key(self, capsys):
+        assert main(["quiz", "--seed", "1", "--key"]) == 0
+        out = capsys.readouterr().out
+        assert "Answer key" in out
+        assert "MECT" in out
+
+    def test_assignment_single_figure(self, capsys):
+        code = main(
+            [
+                "assignment",
+                "--figure", "5",
+                "--replications", "1",
+                "--duration", "100",
+            ]
+        )
+        assert code == 0
+        assert "Fig 5" in capsys.readouterr().out

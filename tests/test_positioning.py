@@ -1,0 +1,70 @@
+"""Table 1 regeneration: literature rows + introspected E2C row."""
+
+from repro.positioning import (
+    SimulatorEntry,
+    introspect_e2c,
+    positioning_table,
+    render_table,
+)
+
+
+class TestTable:
+    def test_six_rows(self):
+        assert len(positioning_table()) == 6
+
+    def test_literature_rows_match_paper(self):
+        by_name = {e.name: e for e in positioning_table()}
+        assert by_name["CloudSim"].language == "Java"
+        assert by_name["CloudSim"].gui == "no"
+        assert by_name["CloudSim"].workload_generator == "limited"
+        assert by_name["EdgeCloudSim"].workload_generator == "yes"
+        assert by_name["iCanCloud"].language == "C++"
+        assert by_name["iCanCloud"].gui == "yes"
+        assert by_name["TeachCloud"].gui == "yes"
+        assert by_name["TeachCloud"].heterogeneous == "no"
+
+    def test_e2c_row_claims_all_features(self):
+        e2c = introspect_e2c()
+        assert e2c.language == "Python"
+        assert e2c.gui == "yes"
+        assert e2c.heterogeneous == "yes"
+        assert e2c.workload_generator == "yes"
+
+    def test_e2c_is_the_only_full_row(self):
+        full = [
+            e
+            for e in positioning_table()
+            if e.gui == "yes"
+            and e.heterogeneous == "yes"
+            and e.workload_generator == "yes"
+        ]
+        assert [e.name for e in full] == ["E2C"]
+
+    def test_as_dict_keys(self):
+        d = SimulatorEntry("X", "Go", "no", "no", "no").as_dict()
+        assert set(d) == {
+            "simulator",
+            "language",
+            "gui",
+            "heterogeneous",
+            "workload_generator",
+        }
+
+
+class TestRendering:
+    def test_render_contains_all_simulators(self):
+        text = render_table()
+        for name in (
+            "CloudSim",
+            "iFogSim",
+            "EdgeCloudSim",
+            "iCanCloud",
+            "TeachCloud",
+            "E2C",
+        ):
+            assert name in text
+
+    def test_render_has_header(self):
+        text = render_table()
+        assert "Simulator" in text
+        assert "Heterogeneous" in text

@@ -1,0 +1,73 @@
+"""Canned scenarios: they build, run, and show their intended contrasts."""
+
+import pytest
+
+from repro.scenarios import classroom_homogeneous, edge_ai, satellite_imaging
+
+
+class TestSatelliteImaging:
+    def test_builds_and_runs(self):
+        result = satellite_imaging(duration=150.0).run()
+        assert result.summary.total_tasks > 0
+        assert result.summary.completion_rate > 0.5
+
+    def test_machine_population(self):
+        cluster = satellite_imaging().build_cluster()
+        assert cluster.counts_by_type() == {"CPU": 2, "GPU": 1, "FPGA": 1}
+
+    def test_gpu_affinity_of_object_detection(self):
+        eet = satellite_imaging().eet
+        row = eet.row("object_detection")
+        assert eet.machine_type_names[int(row.argmin())] == "GPU"
+
+    def test_energy_positive(self):
+        result = satellite_imaging(duration=150.0).run()
+        assert result.summary.total_energy > 0
+
+    def test_scheduler_swap(self):
+        fcfs = satellite_imaging(
+            scheduler="FCFS", intensity="high", duration=200.0
+        ).run()
+        mect = satellite_imaging(
+            scheduler="MECT", intensity="high", duration=200.0
+        ).run()
+        assert mect.summary.completion_rate >= fcfs.summary.completion_rate
+
+
+class TestEdgeAI:
+    def test_builds_and_runs(self):
+        result = edge_ai(duration=150.0).run()
+        assert result.summary.total_tasks > 0
+
+    def test_memory_capacities_wired(self):
+        cluster = edge_ai().build_cluster()
+        assert all(m.machine_type.memory_capacity > 0 for m in cluster)
+
+    def test_network_variant(self):
+        result = edge_ai(duration=100.0, with_network=True).run()
+        assert result.summary.total_tasks > 0
+
+    def test_asic_power_override(self):
+        scenario = edge_ai()
+        asic = scenario.power_profiles["ASIC"]
+        assert asic.active_watts("face_recognition") < asic.active_watts(
+            "object_detection"
+        )
+
+    def test_felare_fairness_at_least_minmin(self):
+        felare = edge_ai(scheduler="FELARE", duration=250.0).run()
+        mm = edge_ai(scheduler="MM", duration=250.0).run()
+        # Fairness pressure should not *hurt* Jain's index materially.
+        assert felare.summary.fairness_index >= mm.summary.fairness_index - 0.1
+
+
+class TestClassroomHomogeneous:
+    def test_eet_homogeneous(self):
+        assert classroom_homogeneous().eet.is_homogeneous()
+
+    def test_four_machines(self):
+        assert len(classroom_homogeneous().build_cluster()) == 4
+
+    def test_runs(self):
+        result = classroom_homogeneous(duration=200.0).run()
+        assert result.summary.total_tasks > 0

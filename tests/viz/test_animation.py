@@ -1,0 +1,75 @@
+"""Animation driver: frame production, stepping, streaming."""
+
+import io
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.viz.animation import Animator
+
+
+@pytest.fixture
+def factory(scenario_factory):
+    return scenario_factory("MECT").build_simulator
+
+
+class TestFrames:
+    def test_collects_frames_headless(self, factory):
+        animator = Animator(factory)
+        animator.play()
+        assert len(animator.frames) > 1
+        assert "simulation finished" in animator.frames[-1]
+
+    def test_frame_every_thins_output(self, factory):
+        dense = Animator(factory)
+        dense.play()
+        sparse = Animator(factory, frame_every=5)
+        sparse.play()
+        assert len(sparse.frames) < len(dense.frames)
+
+    def test_max_frames_guard(self, factory):
+        animator = Animator(factory, max_frames=3)
+        animator.play()
+        assert len(animator.frames) == 3
+        assert animator.simulator.is_finished  # run still completed
+
+    def test_stream_output(self, factory):
+        stream = io.StringIO()
+        animator = Animator(factory, stream=stream, frame_every=10)
+        animator.play()
+        assert "current time" in stream.getvalue()
+
+    def test_in_place_uses_ansi_clear(self, factory):
+        stream = io.StringIO()
+        animator = Animator(
+            factory, stream=stream, in_place=True, frame_every=10
+        )
+        animator.play()
+        assert "\x1b[2J" in stream.getvalue()
+
+    def test_invalid_frame_every_rejected(self, factory):
+        with pytest.raises(ConfigurationError):
+            Animator(factory, frame_every=0)
+
+
+class TestControl:
+    def test_step(self, factory):
+        animator = Animator(factory)
+        event = animator.step()
+        assert event is not None
+        assert animator.simulator.events_processed == 1
+
+    def test_reset_clears_frames(self, factory):
+        animator = Animator(factory)
+        animator.play()
+        animator.reset()
+        assert animator.frames == []
+        assert animator.simulator.events_processed == 0
+
+    def test_play_after_reset_reproduces(self, factory):
+        animator = Animator(factory)
+        animator.play()
+        first = animator.simulator.result().summary.as_dict()
+        animator.reset()
+        animator.play()
+        assert animator.simulator.result().summary.as_dict() == first

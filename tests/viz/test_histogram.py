@@ -1,0 +1,69 @@
+"""ASCII histogram."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.viz.histogram import Histogram
+
+
+class TestHistogram:
+    def test_counts_partition_sample(self):
+        h = Histogram("waits", [0.1, 0.2, 0.3, 5.0, 5.1], bins=5)
+        _, counts = h.edges_and_counts()
+        assert counts.sum() == 5
+
+    def test_empty_sample(self):
+        h = Histogram("waits", [])
+        assert "(no samples)" in h.to_text()
+        assert h.n == 0
+
+    def test_single_value_sample(self):
+        h = Histogram("waits", [2.0, 2.0, 2.0], bins=4)
+        _, counts = h.edges_and_counts()
+        assert counts.sum() == 3
+
+    def test_render_contains_percentages(self):
+        h = Histogram("waits", [1.0] * 9 + [10.0], bins=2)
+        text = h.to_text()
+        assert "90.0%" in text
+        assert "10.0%" in text
+
+    def test_quantiles(self):
+        h = Histogram("waits", list(range(101)))
+        q = h.quantiles((0.5,))
+        assert q[0.5] == pytest.approx(50.0)
+
+    def test_quantiles_in_render(self):
+        h = Histogram("waits", [1.0, 2.0, 3.0])
+        assert "p50=" in h.to_text()
+        assert "n=3" in h.to_text()
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("x", [1.0], bins=0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("x", [float("nan")])
+
+    def test_from_task_records(self, scenario_factory):
+        result = scenario_factory("MECT").run()
+        h = Histogram.from_task_records(result.task_records, "wait_time")
+        assert h.n > 0
+        assert "wait_time" in h.to_text()
+
+    def test_from_task_records_skips_blanks(self):
+        records = [{"wait_time": ""}, {"wait_time": 2.0}, {}]
+        h = Histogram.from_task_records(records)
+        assert h.n == 1
+
+    def test_higher_intensity_longer_tail(self, scenario_factory):
+        low = scenario_factory(
+            "MECT", generator={"duration": 300.0, "intensity": "low"}
+        ).run()
+        high = scenario_factory(
+            "MECT", generator={"duration": 300.0, "intensity": "high"}
+        ).run()
+        h_low = Histogram.from_task_records(low.task_records, "wait_time")
+        h_high = Histogram.from_task_records(high.task_records, "wait_time")
+        assert h_high.quantiles((0.9,))[0.9] > h_low.quantiles((0.9,))[0.9]

@@ -1,0 +1,76 @@
+"""Gantt timeline chart."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.viz.timeline import TimelineChart, timeline_from_records
+
+
+class TestTimelineChart:
+    def test_empty(self):
+        assert "(empty timeline)" in TimelineChart().to_text()
+
+    def test_single_interval_fills_label(self):
+        chart = TimelineChart(width=20)
+        chart.add("M1", "A", 0.0, 10.0)
+        text = chart.to_text(t_max=10.0)
+        row = next(l for l in text.splitlines() if l.startswith("M1"))
+        assert row.count("A") == 20
+
+    def test_two_machines_two_rows(self):
+        chart = TimelineChart(width=20)
+        chart.add("M1", "A", 0.0, 5.0)
+        chart.add("M2", "B", 5.0, 10.0)
+        lines = chart.to_text().splitlines()
+        assert any(l.startswith("M1") for l in lines)
+        assert any(l.startswith("M2") for l in lines)
+
+    def test_interval_positioning(self):
+        chart = TimelineChart(width=10)
+        chart.add("M", "X", 5.0, 10.0)
+        row = next(
+            l for l in chart.to_text(t_max=10.0).splitlines() if l.startswith("M ")
+        )
+        bar = row.split("|")[1]
+        assert bar[:5].strip() == ""
+        assert bar[5:] == "XXXXX"
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimelineChart().add("M", "A", 5.0, 3.0)
+
+    def test_too_small_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimelineChart(width=3)
+
+
+class TestFromRecords:
+    def test_builds_from_task_records(self, scenario_factory):
+        result = scenario_factory("MECT").run()
+        chart = timeline_from_records(result.task_records)
+        text = chart.to_text()
+        assert "machine timeline" in text
+        assert "M1-0" in text
+
+    def test_skips_never_started_tasks(self):
+        records = [
+            {"task_type": "T1", "machine": "M", "start_time": "", "completion_time": ""},
+            {"task_type": "T2", "machine": "M", "start_time": 0.0, "completion_time": 4.0},
+        ]
+        chart = timeline_from_records(records)
+        text = chart.to_text()
+        assert "T" in text  # the executed one appears
+
+    def test_uses_missed_time_as_end(self):
+        records = [
+            {
+                "task_type": "T1",
+                "machine": "M",
+                "start_time": 0.0,
+                "completion_time": "",
+                "missed_time": 3.0,
+            }
+        ]
+        text = timeline_from_records(records, width=12).to_text(t_max=3.0)
+        row = next(l for l in text.splitlines() if l.startswith("M "))
+        assert "T" in row
