@@ -41,8 +41,16 @@ from .core import (
     SimulationResult,
     SimulationStateError,
     Simulator,
+    UnknownScenarioError,
     UnknownSchedulerError,
     WorkloadError,
+)
+from .experiments import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSpec,
+    ScenarioRef,
+    run_campaign,
 )
 from .machines import (
     UNBOUNDED,
@@ -66,6 +74,11 @@ from .metrics import (
     energy_breakdown,
     jain_fairness,
     summarize,
+)
+from .scenarios import (
+    available_scenarios,
+    build_scenario,
+    register_scenario,
 )
 from .scheduling import (
     Assignment,
@@ -145,6 +158,16 @@ __all__ = [
     "energy_breakdown",
     "PolicyComparison",
     "compare_policies",
+    # scenarios
+    "register_scenario",
+    "build_scenario",
+    "available_scenarios",
+    # experiments
+    "CampaignSpec",
+    "ScenarioRef",
+    "CampaignRunner",
+    "CampaignResult",
+    "run_campaign",
     # extensions
     "FailureModel",
     # errors
@@ -155,5 +178,6 @@ __all__ = [
     "IncompatibleWorkloadError",
     "SchedulingError",
     "UnknownSchedulerError",
+    "UnknownScenarioError",
     "SimulationStateError",
 ]

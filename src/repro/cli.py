@@ -7,6 +7,9 @@ Subcommands mirror the E2C GUI surface:
 * ``e2c-sim generate`` — the workload component: synthesise a workload CSV
   for an EET at a chosen intensity.
 * ``e2c-sim schedulers`` — the policy drop-down: list registered policies.
+* ``e2c-sim scenarios`` — list registered scenario presets.
+* ``e2c-sim sweep`` — run an experiment campaign (scenario grid x scheduler
+  list x seed list) over worker processes and print the comparison table.
 * ``e2c-sim assignment`` — regenerate the class-assignment figures (5/6/7).
 * ``e2c-sim table1`` — the positioning table.
 * ``e2c-sim quiz`` — print a quiz sheet (and, with ``--key``, its answers).
@@ -100,6 +103,64 @@ def build_parser() -> argparse.ArgumentParser:
     sched = sub.add_parser("schedulers", help="list available policies")
     sched.add_argument(
         "--mode", choices=["immediate", "batch"], default=None
+    )
+
+    sub.add_parser(
+        "scenarios", help="list registered scenario presets (for 'sweep')"
+    )
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment campaign across scenarios, policies and seeds",
+        description=(
+            "Expand a campaign grid (scenarios x schedulers x seeds), run "
+            "every cell over worker processes, and print a per-scenario "
+            "cross-policy comparison. The grid comes from a JSON spec file "
+            "(--spec) or inline flags; the same campaign seed always "
+            "reproduces the identical result table."
+        ),
+    )
+    sweep.add_argument(
+        "--spec", type=Path, default=None,
+        help="campaign spec JSON (as written by --save-spec)",
+    )
+    sweep.add_argument(
+        "--scenarios", default=None, metavar="NAME[,NAME...]",
+        help="comma-separated registered scenario names (see 'scenarios')",
+    )
+    sweep.add_argument(
+        "--schedulers", default=None, metavar="POLICY[,POLICY...]",
+        help="comma-separated policy names (see 'schedulers')",
+    )
+    sweep.add_argument(
+        "--seeds", default=None, metavar="INT[,INT...]",
+        help="comma-separated grid seeds; each gives every policy a fresh "
+        "shared workload (default: 0)",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=None,
+        help="campaign master seed all per-run seeds derive from (default 0)",
+    )
+    sweep.add_argument(
+        "--metrics", default=None, metavar="M[,M...]",
+        help="summary metrics to report (default: completion_rate, "
+        "mean_response_time, total_energy)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU, capped at grid size)",
+    )
+    sweep.add_argument(
+        "--serial", action="store_true",
+        help="run in-process without worker processes (same table, slower)",
+    )
+    sweep.add_argument(
+        "--save-table", type=Path, default=None, metavar="CSV",
+        help="write the tidy per-run table (one row per run) to CSV",
+    )
+    sweep.add_argument(
+        "--save-spec", type=Path, default=None, metavar="JSON",
+        help="write the expanded campaign spec to JSON (reload with --spec)",
     )
 
     assign = sub.add_parser(
@@ -197,6 +258,83 @@ def _cmd_schedulers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import available_scenarios, scenario_factory
+
+    for name in available_scenarios():
+        doc = (scenario_factory(name).__doc__ or "").strip().splitlines()
+        first_line = doc[0] if doc else ""
+        print(f"{name:<24} {first_line}")
+    return 0
+
+
+def _split_csv(value: str) -> list[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import CampaignSpec, run_campaign
+
+    if args.spec is not None:
+        if (
+            args.scenarios
+            or args.schedulers
+            or args.seeds is not None
+            or args.seed is not None
+        ):
+            print(
+                "error: --spec and the inline grid flags "
+                "(--scenarios/--schedulers/--seeds/--seed) are mutually "
+                "exclusive; edit the spec file instead",
+                file=sys.stderr,
+            )
+            return 2
+        spec = CampaignSpec.from_json(args.spec)
+    elif args.scenarios and args.schedulers:
+        try:
+            seeds = [int(s) for s in _split_csv(args.seeds or "0")]
+        except ValueError:
+            print(
+                f"error: --seeds must be comma-separated integers, "
+                f"got {args.seeds!r}",
+                file=sys.stderr,
+            )
+            return 2
+        extra = {}
+        if args.metrics:
+            extra["metrics"] = _split_csv(args.metrics)
+        spec = CampaignSpec(
+            scenarios=_split_csv(args.scenarios),
+            schedulers=_split_csv(args.schedulers),
+            seeds=seeds,
+            seed=args.seed if args.seed is not None else 0,
+            **extra,
+        )
+    else:
+        print(
+            "error: provide --spec JSON or both --scenarios and --schedulers",
+            file=sys.stderr,
+        )
+        return 2
+
+    result = run_campaign(
+        spec, parallel=not args.serial, workers=args.workers
+    )
+    # Save before printing: stdout may be a pager/head that closes early,
+    # and a BrokenPipeError must not cost the user their artifacts.
+    if args.save_table is not None:
+        result.to_csv(args.save_table)
+    if args.save_spec is not None:
+        spec.to_json(args.save_spec)
+    metrics = _split_csv(args.metrics) if args.metrics else None
+    print(result.to_text(metrics))
+    if args.save_table is not None:
+        print(f"\nsaved table: {args.save_table}")
+    if args.save_spec is not None:
+        print(f"saved spec: {args.save_spec}")
+    return 0
+
+
 def _cmd_assignment(args: argparse.Namespace) -> int:
     from .education.assignment import (
         AssignmentConfig,
@@ -245,6 +383,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "generate": _cmd_generate,
     "schedulers": _cmd_schedulers,
+    "scenarios": _cmd_scenarios,
+    "sweep": _cmd_sweep,
     "assignment": _cmd_assignment,
     "table1": _cmd_table1,
     "quiz": _cmd_quiz,

@@ -11,6 +11,7 @@ from .errors import (
     ReportError,
     SchedulingError,
     SimulationStateError,
+    UnknownScenarioError,
     UnknownSchedulerError,
     WorkloadError,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "IncompatibleWorkloadError",
     "SchedulingError",
     "UnknownSchedulerError",
+    "UnknownScenarioError",
     "SimulationStateError",
     "ReportError",
 ]

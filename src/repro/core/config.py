@@ -31,6 +31,7 @@ from ..tasks.task_type import TaskType
 from ..tasks.trace_io import read_workload_csv
 from ..tasks.workload import Workload
 from .errors import ConfigurationError
+from .jsonio import load_json_source
 from .rng import derive_seed
 from .simulator import SimulationResult, Simulator
 
@@ -264,6 +265,10 @@ class Scenario:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"scenario must be a JSON object, got {type(data).__name__}"
+            )
         eet_spec = data["eet"]
         task_types = [
             TaskType(
@@ -341,13 +346,7 @@ class Scenario:
     @classmethod
     def from_json(cls, source: str | Path) -> "Scenario":
         """Load from a JSON file path or a JSON string."""
-        if isinstance(source, Path) or (
-            isinstance(source, str) and not source.lstrip().startswith("{")
-        ):
-            text = Path(source).read_text(encoding="utf-8")
-        else:
-            text = source
-        return cls.from_dict(json.loads(text))
+        return cls.from_dict(load_json_source(source, what="scenario"))
 
     # -- conveniences ------------------------------------------------------------------------
 

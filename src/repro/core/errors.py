@@ -16,6 +16,7 @@ __all__ = [
     "IncompatibleWorkloadError",
     "SchedulingError",
     "UnknownSchedulerError",
+    "UnknownScenarioError",
     "SimulationStateError",
     "ReportError",
 ]
@@ -52,6 +53,10 @@ class SchedulingError(E2CError):
 
 class UnknownSchedulerError(SchedulingError, KeyError):
     """Requested scheduler name is not present in the registry."""
+
+
+class UnknownScenarioError(ConfigurationError, KeyError):
+    """Requested scenario preset name is not present in the registry."""
 
 
 class SimulationStateError(E2CError):

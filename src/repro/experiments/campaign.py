@@ -1,0 +1,275 @@
+"""Declarative experiment campaigns: scenario grid × scheduler list × seeds.
+
+The paper positions E2C as an instrument for comparing scheduling policies
+across heterogeneous scenarios; follow-on work runs exactly such
+multi-policy, multi-platform sweeps. A :class:`CampaignSpec` captures one
+sweep declaratively — which registered scenarios (with per-scenario factory
+overrides), which policies, which seeds — and expands it into the cartesian
+product of :class:`RunSpec` cells. Specs round-trip through plain dicts and
+JSON so a campaign is a reproducible artifact exactly like a scenario file.
+
+Seeding: every cell's scenario seed is derived from the campaign master seed
+and the (scenario label, grid seed) pair via :func:`repro.core.rng.derive_seed`.
+The scheduler deliberately does *not* enter the derivation, so every policy
+faces the identical workload for a given (scenario, seed) cell — paired
+comparisons with common random numbers, the same discipline
+:func:`repro.metrics.comparison.compare_policies` uses.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from ..core.errors import ConfigurationError
+from ..core.jsonio import load_json_source
+from ..core.rng import derive_seed
+from ..scenarios import scenario_factory
+from ..scheduling.registry import scheduler_class
+
+__all__ = ["ScenarioRef", "RunSpec", "CampaignSpec", "DEFAULT_METRICS"]
+
+#: Summary metrics campaigns report on unless the spec says otherwise.
+DEFAULT_METRICS = (
+    "completion_rate",
+    "mean_response_time",
+    "total_energy",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioRef:
+    """A named scenario preset plus factory overrides.
+
+    ``name`` must resolve in the scenario registry; ``overrides`` are keyword
+    arguments forwarded to the factory (e.g. ``duration``, ``intensity``).
+    ``label`` distinguishes two refs to the same preset with different
+    overrides; it defaults to ``name``.
+    """
+
+    name: str
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    label: str | None = None
+
+    @property
+    def effective_label(self) -> str:
+        return self.label or self.name
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"name": self.name}
+        if self.overrides:
+            out["overrides"] = dict(self.overrides)
+        if self.label is not None:
+            out["label"] = self.label
+        return out
+
+    @classmethod
+    def coerce(cls, value: "ScenarioRef | str | Mapping[str, Any]") -> "ScenarioRef":
+        """Accept a ref, a bare preset name, or its dict form."""
+        if isinstance(value, ScenarioRef):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        if isinstance(value, Mapping):
+            if "name" not in value:
+                raise ConfigurationError(
+                    f"scenario reference {dict(value)!r} needs a 'name'"
+                )
+            return cls(
+                name=value["name"],
+                overrides=dict(value.get("overrides", {})),
+                label=value.get("label"),
+            )
+        raise ConfigurationError(
+            f"cannot interpret {value!r} as a scenario reference"
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined cell of the campaign grid.
+
+    Self-contained and picklable: a worker process rebuilds the scenario from
+    the registry using only this object. ``run_seed`` is the derived scenario
+    seed (see module docstring); ``seed`` is the grid-axis value it came from.
+    """
+
+    campaign: str
+    scenario: str
+    overrides: Mapping[str, Any]
+    label: str
+    scheduler: str
+    scheduler_params: Mapping[str, Any]
+    seed: int
+    run_seed: int
+
+    def key(self) -> tuple[str, str, int]:
+        """Identity of the cell within its campaign."""
+        return (self.label, self.scheduler, self.seed)
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative description of a full experiment campaign.
+
+    Attributes
+    ----------
+    scenarios:
+        Scenario refs (or bare preset names / dicts — coerced on init).
+    schedulers:
+        Registry names of the policies to sweep.
+    seeds:
+        Grid seed values; each (scenario, seed) pair gets an independent
+        workload shared by every scheduler.
+    seed:
+        Campaign master seed all per-run seeds derive from.
+    scheduler_params:
+        Optional per-policy constructor kwargs, keyed by policy name.
+    metrics:
+        Summary metrics the comparison report shows.
+    name:
+        Campaign identifier (report headers, CSV file names).
+    """
+
+    scenarios: Sequence[ScenarioRef | str | Mapping[str, Any]]
+    schedulers: Sequence[str]
+    seeds: Sequence[int] = (0,)
+    seed: int = 0
+    scheduler_params: dict[str, dict] = field(default_factory=dict)
+    metrics: Sequence[str] = DEFAULT_METRICS
+    name: str = "campaign"
+
+    def __post_init__(self) -> None:
+        self.scenarios = [ScenarioRef.coerce(s) for s in self.scenarios]
+        # Canonicalise policy names (case/alias) so scheduler_params lookup,
+        # reports and CSV columns all show registry names.
+        self.schedulers = [
+            scheduler_class(str(s)).name for s in self.schedulers
+        ]
+        self.scheduler_params = {
+            scheduler_class(str(k)).name: dict(v)
+            for k, v in self.scheduler_params.items()
+        }
+        try:
+            self.seeds = [int(s) for s in self.seeds]
+            self.seed = int(self.seed)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"campaign seeds must be integers: {exc}"
+            ) from exc
+        if self.seed < 0 or any(s < 0 for s in self.seeds):
+            # derive_seed feeds numpy's SeedSequence, which rejects negatives
+            raise ConfigurationError(
+                "campaign seeds must be non-negative integers"
+            )
+        self.metrics = [str(m) for m in self.metrics]
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.scenarios:
+            raise ConfigurationError("campaign needs at least one scenario")
+        if not self.schedulers:
+            raise ConfigurationError("campaign needs at least one scheduler")
+        if not self.seeds:
+            raise ConfigurationError("campaign needs at least one seed")
+        labels = [ref.effective_label for ref in self.scenarios]
+        duplicates = {l for l in labels if labels.count(l) > 1}
+        if duplicates:
+            raise ConfigurationError(
+                f"duplicate scenario labels {sorted(duplicates)}; "
+                "give overridden refs distinct 'label's"
+            )
+        for ref in self.scenarios:
+            factory = scenario_factory(ref.name)  # raises UnknownScenarioError
+            try:
+                inspect.signature(factory).bind_partial(**dict(ref.overrides))
+            except TypeError as exc:
+                raise ConfigurationError(
+                    f"invalid overrides for scenario {ref.name!r}: {exc}"
+                ) from exc
+        unknown = set(self.scheduler_params) - set(self.schedulers)
+        if unknown:
+            raise ConfigurationError(
+                f"scheduler_params for policies not in the sweep: "
+                f"{sorted(unknown)}"
+            )
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.scenarios) * len(self.schedulers) * len(self.seeds)
+
+    def cells(self) -> list[RunSpec]:
+        """Expand the grid, scenario-major, in deterministic order."""
+        out = []
+        for ref in self.scenarios:
+            label = ref.effective_label
+            for scheduler in self.schedulers:
+                params = self.scheduler_params.get(scheduler, {})
+                for grid_seed in self.seeds:
+                    out.append(
+                        RunSpec(
+                            campaign=self.name,
+                            scenario=ref.name,
+                            overrides=dict(ref.overrides),
+                            label=label,
+                            scheduler=scheduler,
+                            scheduler_params=dict(params),
+                            seed=grid_seed,
+                            run_seed=derive_seed(
+                                self.seed, "campaign", label, grid_seed
+                            ),
+                        )
+                    )
+        return out
+
+    # -- dict / JSON round-trip ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "scenarios": [ref.to_dict() for ref in self.scenarios],
+            "schedulers": list(self.schedulers),
+            "seeds": list(self.seeds),
+            "scheduler_params": {
+                k: dict(v) for k, v in self.scheduler_params.items()
+            },
+            "metrics": list(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"campaign spec must be a JSON object, got {type(data).__name__}"
+            )
+        try:
+            scenarios = data["scenarios"]
+            schedulers = data["schedulers"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"campaign spec is missing required key {exc.args[0]!r}"
+            ) from None
+        return cls(
+            scenarios=scenarios,
+            schedulers=schedulers,
+            seeds=data.get("seeds", (0,)),
+            seed=data.get("seed", 0),
+            scheduler_params=data.get("scheduler_params", {}),
+            metrics=data.get("metrics", DEFAULT_METRICS),
+            name=data.get("name", "campaign"),
+        )
+
+    def to_json(self, path: str | Path | None = None, *, indent: int = 2) -> str:
+        text = json.dumps(self.to_dict(), indent=indent)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "CampaignSpec":
+        """Load from a JSON file path or a JSON string (like Scenario)."""
+        return cls.from_dict(load_json_source(source, what="campaign spec"))

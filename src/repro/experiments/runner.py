@@ -1,0 +1,244 @@
+"""Campaign execution: fan the grid out over worker processes, gather a table.
+
+:class:`CampaignRunner` executes every :class:`~.campaign.RunSpec` cell of a
+:class:`~.campaign.CampaignSpec`, serially or over a ``multiprocessing``
+pool. Each cell is a pure function of its spec — the worker rebuilds the
+scenario from the registry, installs the derived per-run seed, runs, and
+returns only the (small, picklable) summary — so the aggregated table is
+bit-for-bit identical whichever execution mode produced it and however many
+workers raced over the grid.
+
+The result object keeps the tidy table (one row per run) and feeds
+:class:`repro.metrics.comparison.PolicyComparison` for the cross-policy
+report the classroom workflow asks for: "which policy wins on which metric
+in which scenario".
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import multiprocessing
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+from ..core.errors import ConfigurationError
+from ..metrics.collector import SummaryMetrics
+from ..metrics.comparison import PolicyComparison
+from ..scenarios import build_scenario
+from .campaign import CampaignSpec, RunSpec
+
+__all__ = ["RunRecord", "CampaignResult", "CampaignRunner", "run_campaign"]
+
+#: Identity columns every tidy-table row starts with, in order.
+IDENTITY_COLUMNS = ("scenario", "scheduler", "seed", "run_seed")
+
+
+def _pool_context():
+    """Prefer ``fork`` so runtime-registered scenarios reach the workers.
+
+    Python's default start method varies by platform and version; ``fork``
+    inherits the parent's scenario registry, which is part of this module's
+    documented contract. Platforms without it fall back to the default.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _execute_cell(cell: RunSpec) -> "RunRecord":
+    """Run one grid cell; module-level so worker processes can import it."""
+    scenario = build_scenario(cell.scenario, **dict(cell.overrides))
+    scenario = replace(
+        scenario,
+        scheduler=cell.scheduler,
+        scheduler_params=dict(cell.scheduler_params),
+        seed=cell.run_seed,
+        name=cell.label,
+    )
+    result = scenario.run()
+    return RunRecord(
+        scenario=cell.label,
+        scheduler=cell.scheduler,
+        seed=cell.seed,
+        run_seed=cell.run_seed,
+        summary=result.summary,
+    )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Outcome of one cell: grid coordinates plus the run's summary metrics."""
+
+    scenario: str
+    scheduler: str
+    seed: int
+    run_seed: int
+    summary: SummaryMetrics
+
+    def row(self) -> dict:
+        """Tidy-table row: identity columns then every summary metric."""
+        out = {
+            "scenario": self.scenario,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "run_seed": self.run_seed,
+        }
+        out.update(self.summary.as_dict())
+        return out
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All records of a finished campaign, in grid order."""
+
+    spec: CampaignSpec
+    records: tuple[RunRecord, ...]
+
+    @property
+    def scenario_labels(self) -> list[str]:
+        return [ref.effective_label for ref in self.spec.scenarios]
+
+    def table(self) -> list[dict]:
+        """One tidy row per run, in deterministic grid order."""
+        return [record.row() for record in self.records]
+
+    def columns(self) -> list[str]:
+        """Identity columns followed by the sorted union of metric columns."""
+        metric_cols: set[str] = set()
+        for record in self.records:
+            metric_cols.update(record.summary.as_dict())
+        return list(IDENTITY_COLUMNS) + sorted(metric_cols)
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Render the tidy table as CSV text (and optionally write it).
+
+        Formatting is deliberately canonical — fixed column order, ``repr``
+        floats — so two runs of the same campaign produce byte-identical
+        files regardless of worker count.
+        """
+        columns = self.columns()
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(columns)
+        for row in self.table():
+            writer.writerow([_format_value(row.get(c, "")) for c in columns])
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    def comparison(self, scenario: str | None = None) -> PolicyComparison:
+        """Cross-policy comparison, per scenario label (or the whole grid).
+
+        Each scheduler's replications are its runs over the seed axis, so the
+        comparison is paired: every policy saw the same workloads.
+        """
+        if scenario is not None and scenario not in self.scenario_labels:
+            raise ConfigurationError(
+                f"unknown scenario label {scenario!r}; "
+                f"have {self.scenario_labels}"
+            )
+        comparison = PolicyComparison()
+        for record in self.records:
+            if scenario is None or record.scenario == scenario:
+                comparison.add(record.scheduler, record.summary)
+        return comparison
+
+    def to_text(self, metrics: Sequence[str] | None = None) -> str:
+        """Human-readable cross-policy report, one block per scenario."""
+        metrics = list(metrics or self.spec.metrics)
+        lines = [
+            f"Campaign {self.spec.name!r}: "
+            f"{len(self.scenario_labels)} scenario(s) x "
+            f"{len(self.spec.schedulers)} scheduler(s) x "
+            f"{len(self.spec.seeds)} seed(s) = {len(self.records)} runs"
+        ]
+        policy_width = max(
+            (len(p) for p in self.spec.schedulers), default=8
+        )
+        policy_width = max(policy_width, len("policy"))
+        for label in self.scenario_labels:
+            comparison = self.comparison(label)
+            lines.append("")
+            lines.append(f"[{label}]")
+            header = "  ".join(
+                [f"{'policy':<{policy_width}}"]
+                + [f"{m:>{max(len(m), 12)}}" for m in metrics]
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+            for policy in self.spec.schedulers:
+                cells = [f"{policy:<{policy_width}}"]
+                for metric in metrics:
+                    value = comparison.mean(policy, metric)
+                    cells.append(f"{value:>{max(len(metric), 12)}.4f}")
+                lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+
+def _format_value(value) -> str:
+    # repr() keeps full float precision; csv handles the quoting.
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+class CampaignRunner:
+    """Executes a campaign spec, serially or across worker processes.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    workers:
+        Default worker-process count for :meth:`run`; ``None`` means one per
+        CPU (capped at the number of grid cells).
+
+    Note on custom scenarios: worker processes resolve scenario names through
+    the registry after importing :mod:`repro.scenarios`, so stock presets are
+    always available. The pool is explicitly created with the POSIX ``fork``
+    start method where the platform offers it (regardless of the Python
+    version's default), so scenarios registered at runtime are visible to
+    workers too; on platforms without ``fork`` (e.g. Windows) register custom
+    scenarios at module import time.
+    """
+
+    def __init__(self, spec: CampaignSpec, *, workers: int | None = None):
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"need at least 1 worker, got {workers}")
+        self.spec = spec
+        self.workers = workers
+
+    def effective_workers(self, n_cells: int) -> int:
+        workers = self.workers or os.cpu_count() or 1
+        return max(1, min(workers, n_cells))
+
+    def run(self, *, parallel: bool = True) -> CampaignResult:
+        """Execute every cell and gather records in grid order.
+
+        ``parallel=False`` forces in-process serial execution (useful for
+        debugging and for determinism tests); the resulting table is
+        identical either way.
+        """
+        cells = self.spec.cells()
+        workers = self.effective_workers(len(cells))
+        if parallel and workers > 1:
+            with _pool_context().Pool(processes=workers) as pool:
+                records = pool.map(_execute_cell, cells)
+        else:
+            records = [_execute_cell(cell) for cell in cells]
+        return CampaignResult(spec=self.spec, records=tuple(records))
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    parallel: bool = True,
+    workers: int | None = None,
+) -> CampaignResult:
+    """One-call convenience: ``CampaignRunner(spec, workers=...).run(...)``."""
+    return CampaignRunner(spec, workers=workers).run(parallel=parallel)

@@ -20,17 +20,31 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.config import Scenario
     from ..core.simulator import SimulationResult
     from ..viz.barchart import BarChart
+    from .collector import SummaryMetrics
 
 __all__ = ["PolicyComparison", "compare_policies"]
+
+
+def _summary_of(result):
+    """Accept a full SimulationResult or a bare SummaryMetrics.
+
+    Campaign workers ship only summaries back across process boundaries;
+    interactive code adds full results. Both feed the same comparison.
+    """
+    return getattr(result, "summary", result)
 
 
 @dataclass
 class PolicyComparison:
     """Labelled result sets, one list of replications per policy."""
 
-    results: dict[str, list["SimulationResult"]] = field(default_factory=dict)
+    results: dict[str, list["SimulationResult | SummaryMetrics"]] = field(
+        default_factory=dict
+    )
 
-    def add(self, label: str, result: "SimulationResult") -> None:
+    def add(
+        self, label: str, result: "SimulationResult | SummaryMetrics"
+    ) -> None:
         self.results.setdefault(label, []).append(result)
 
     @property
@@ -48,11 +62,12 @@ class PolicyComparison:
         """Per-replication values of a SummaryMetrics attribute."""
         values = []
         for result in self._require(label):
-            if not hasattr(result.summary, metric):
+            summary = _summary_of(result)
+            if not hasattr(summary, metric):
                 raise ConfigurationError(
                     f"summary has no metric {metric!r}"
                 )
-            values.append(float(getattr(result.summary, metric)))
+            values.append(float(getattr(summary, metric)))
         return values
 
     def mean(self, label: str, metric: str) -> float:

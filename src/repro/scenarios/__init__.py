@@ -1,0 +1,29 @@
+"""Named scenario presets plus the registry they plug into.
+
+Import surface is backward compatible with the old ``repro.scenarios``
+module — ``satellite_imaging``, ``edge_ai`` and ``classroom_homogeneous``
+are importable directly — and adds the registry API used by campaign specs
+and the ``e2c-sim scenarios`` / ``e2c-sim sweep`` subcommands:
+
+* :func:`register_scenario` — decorator registering a factory by name,
+* :func:`build_scenario` — build a preset by name with keyword overrides,
+* :func:`available_scenarios` — sorted names of all registered presets.
+"""
+
+from .presets import classroom_homogeneous, edge_ai, satellite_imaging
+from .registry import (
+    available_scenarios,
+    build_scenario,
+    register_scenario,
+    scenario_factory,
+)
+
+__all__ = [
+    "satellite_imaging",
+    "edge_ai",
+    "classroom_homogeneous",
+    "register_scenario",
+    "scenario_factory",
+    "build_scenario",
+    "available_scenarios",
+]

@@ -1,6 +1,8 @@
-"""Canned scenarios — ready-made systems for examples, tests and teaching.
+"""Stock scenario presets — ready-made systems for examples, tests and teaching.
 
-Three scenario families the paper's introduction motivates:
+Three scenario families the paper's introduction motivates, each registered
+in the scenario registry so campaigns (``repro.experiments``) and the CLI can
+reference them by name:
 
 * :func:`satellite_imaging` — "a heterogeneous system processing satellite
   images should support task types for object detection, noise removal, and
@@ -19,14 +21,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from .core.config import Scenario
-from .machines.eet import EETMatrix
-from .machines.power import PowerProfile
-from .tasks.task_type import TaskType
+from ..core.config import Scenario
+from ..machines.eet import EETMatrix
+from ..machines.power import PowerProfile
+from ..tasks.task_type import TaskType
+from .registry import register_scenario
 
 __all__ = ["satellite_imaging", "edge_ai", "classroom_homogeneous"]
 
 
+@register_scenario
 def satellite_imaging(
     *,
     scheduler: str = "MECT",
@@ -81,6 +85,7 @@ def satellite_imaging(
     )
 
 
+@register_scenario
 def edge_ai(
     *,
     scheduler: str = "FELARE",
@@ -150,6 +155,7 @@ def edge_ai(
     )
 
 
+@register_scenario
 def classroom_homogeneous(
     *,
     scheduler: str = "FCFS",

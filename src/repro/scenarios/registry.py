@@ -1,0 +1,93 @@
+"""Scenario registry — named presets students and campaigns build on.
+
+The scheduling layer already has a plug-in registry (any policy can be
+registered by name and picked from the GUI drop-down); this module gives
+scenarios the same treatment. A *scenario factory* is any callable taking
+keyword arguments and returning a :class:`~repro.core.config.Scenario`.
+Registering it under a name makes it addressable from campaign specs
+(``repro.experiments``), the CLI (``e2c-sim sweep`` / ``e2c-sim scenarios``)
+and student code::
+
+    from repro.scenarios import register_scenario, build_scenario
+
+    @register_scenario("tiny_lab")
+    def tiny_lab(*, scheduler="FCFS", duration=100.0, seed=1):
+        ...
+        return Scenario(...)
+
+    scenario = build_scenario("tiny_lab", scheduler="MECT")
+
+Names are case-insensitive. Factories should accept ``scheduler``, ``seed``
+and (where meaningful) ``duration``/``intensity`` keywords so campaign grids
+can re-parameterise them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from ..core.errors import ConfigurationError, UnknownScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.config import Scenario
+
+__all__ = [
+    "register_scenario",
+    "scenario_factory",
+    "build_scenario",
+    "available_scenarios",
+]
+
+ScenarioFactory = Callable[..., "Scenario"]
+
+_REGISTRY: dict[str, ScenarioFactory] = {}
+
+
+def register_scenario(
+    name: str | ScenarioFactory | None = None, *, overwrite: bool = False
+):
+    """Register a scenario factory under *name* (default: the function name).
+
+    Usable as ``@register_scenario``, ``@register_scenario("name")`` or
+    imperatively: ``register_scenario("name")(factory)``. Pass
+    ``overwrite=True`` to replace an existing preset (e.g. a classroom
+    variant shadowing a stock one).
+    """
+
+    def apply(factory: ScenarioFactory) -> ScenarioFactory:
+        key = (name if isinstance(name, str) else factory.__name__).lower()
+        if not key:
+            raise ConfigurationError("scenario name must be non-empty")
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not factory and not overwrite:
+            raise ConfigurationError(
+                f"scenario name {key!r} already registered to "
+                f"{getattr(existing, '__name__', existing)!r}; "
+                "pass overwrite=True to replace it"
+            )
+        _REGISTRY[key] = factory
+        return factory
+
+    if callable(name):  # bare @register_scenario form
+        return apply(name)
+    return apply
+
+
+def scenario_factory(name: str) -> ScenarioFactory:
+    """Resolve a registered factory by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None
+
+
+def build_scenario(name: str, **overrides) -> "Scenario":
+    """Build a registered scenario, forwarding *overrides* to its factory."""
+    return scenario_factory(name)(**overrides)
+
+
+def available_scenarios() -> list[str]:
+    """Sorted names of every registered scenario preset."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,103 @@
+"""Campaign runner: determinism across execution modes, table integrity."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.experiments import CampaignRunner, CampaignSpec, run_campaign
+from repro.experiments.runner import IDENTITY_COLUMNS
+
+
+@pytest.fixture(scope="module")
+def spec():
+    # Short durations keep the 12-cell grid fast while still exercising
+    # every scenario family and both scheduling modes.
+    return CampaignSpec(
+        name="runner_unit",
+        scenarios=[
+            {"name": "classroom_homogeneous", "overrides": {"duration": 60.0}},
+            {"name": "edge_ai", "overrides": {"duration": 60.0}},
+        ],
+        schedulers=["FCFS", "MECT", "MM"],
+        seeds=[1, 2],
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_result(spec):
+    return run_campaign(spec, parallel=False)
+
+
+class TestDeterminism:
+    def test_parallel_table_identical_to_serial(self, spec, serial_result):
+        parallel = run_campaign(spec, workers=4)
+        assert parallel.to_csv() == serial_result.to_csv()
+
+    def test_rerun_is_reproducible(self, spec, serial_result):
+        assert run_campaign(spec, parallel=False).to_csv() == (
+            serial_result.to_csv()
+        )
+
+    def test_single_worker_pool_matches(self, spec, serial_result):
+        one = CampaignRunner(spec, workers=1).run(parallel=True)
+        assert one.to_csv() == serial_result.to_csv()
+
+
+class TestResult:
+    def test_records_in_grid_order(self, spec, serial_result):
+        assert [
+            (r.scenario, r.scheduler, r.seed)
+            for r in serial_result.records
+        ] == [c.key() for c in spec.cells()]
+
+    def test_table_rows_and_columns(self, serial_result):
+        rows = serial_result.table()
+        assert len(rows) == 12
+        columns = serial_result.columns()
+        assert columns[: len(IDENTITY_COLUMNS)] == list(IDENTITY_COLUMNS)
+        for row in rows:
+            assert 0.0 <= row["completion_rate"] <= 1.0
+
+    def test_csv_written_to_disk(self, serial_result, tmp_path):
+        path = tmp_path / "table.csv"
+        text = serial_result.to_csv(path)
+        assert path.read_text(encoding="utf-8") == text
+        assert text.splitlines()[0].startswith("scenario,scheduler,seed")
+
+    def test_paired_workloads_same_total_tasks(self, serial_result):
+        """Every policy must face the identical workload per (scenario, seed)."""
+        totals = {}
+        for record in serial_result.records:
+            key = (record.scenario, record.seed)
+            totals.setdefault(key, set()).add(record.summary.total_tasks)
+        assert all(len(counts) == 1 for counts in totals.values())
+
+    def test_comparison_per_scenario(self, serial_result):
+        comparison = serial_result.comparison("edge_ai")
+        assert set(comparison.labels) == {"FCFS", "MECT", "MM"}
+        ranked = comparison.ranking("completion_rate")
+        assert len(ranked) == 3
+        winner = comparison.winner("completion_rate")
+        assert winner in {"FCFS", "MECT", "MM"}
+
+    def test_comparison_unknown_scenario(self, serial_result):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            serial_result.comparison("nope")
+
+    def test_to_text_mentions_every_policy_and_scenario(self, serial_result):
+        text = serial_result.to_text()
+        for token in (
+            "classroom_homogeneous", "edge_ai", "FCFS", "MECT", "MM",
+            "completion_rate",
+        ):
+            assert token in text
+
+
+class TestRunner:
+    def test_invalid_worker_count(self, spec):
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(spec, workers=0)
+
+    def test_effective_workers_capped_by_grid(self, spec):
+        runner = CampaignRunner(spec, workers=64)
+        assert runner.effective_workers(4) == 4

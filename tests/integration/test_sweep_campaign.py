@@ -1,0 +1,47 @@
+"""Acceptance: a 3-scenario x 4-scheduler x 2-seed campaign via the CLI.
+
+The parallel result table must be byte-identical to the serial one for the
+same campaign seed — the determinism contract of ``repro.experiments``.
+"""
+
+from repro.cli import main
+from repro.experiments import CampaignSpec
+
+
+def test_sweep_parallel_table_byte_identical_to_serial(tmp_path, capsys):
+    spec_path = tmp_path / "campaign.json"
+    CampaignSpec(
+        name="acceptance",
+        scenarios=[
+            {"name": "satellite_imaging", "overrides": {"duration": 120.0}},
+            {"name": "edge_ai", "overrides": {"duration": 80.0}},
+            {"name": "classroom_homogeneous", "overrides": {"duration": 120.0}},
+        ],
+        schedulers=["FCFS", "MECT", "MM", "MSD"],
+        seeds=[1, 2],
+        seed=2023,
+    ).to_json(spec_path)
+
+    parallel_csv = tmp_path / "parallel.csv"
+    serial_csv = tmp_path / "serial.csv"
+    assert main(
+        [
+            "sweep",
+            "--spec", str(spec_path),
+            "--workers", "4",
+            "--save-table", str(parallel_csv),
+        ]
+    ) == 0
+    assert main(
+        [
+            "sweep",
+            "--spec", str(spec_path),
+            "--serial",
+            "--save-table", str(serial_csv),
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "3 scenario(s) x 4 scheduler(s) x 2 seed(s) = 24 runs" in out
+    assert parallel_csv.read_bytes() == serial_csv.read_bytes()
+    # 24 data rows + header
+    assert len(parallel_csv.read_text(encoding="utf-8").splitlines()) == 25

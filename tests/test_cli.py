@@ -197,3 +197,96 @@ class TestOtherCommands:
         )
         assert code == 0
         assert "Fig 5" in capsys.readouterr().out
+
+
+class TestScenariosCommand:
+    def test_lists_registered_presets(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("satellite_imaging", "edge_ai", "classroom_homogeneous"):
+            assert name in out
+
+
+class TestSweep:
+    def test_inline_grid(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--scenarios", "classroom_homogeneous",
+                "--schedulers", "FCFS,MECT",
+                "--seeds", "1",
+                "--serial",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 scenario(s) x 2 scheduler(s) x 1 seed(s)" in out
+        assert "FCFS" in out and "MECT" in out
+
+    def test_requires_spec_or_inline_grid(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--spec" in capsys.readouterr().err
+
+    def test_spec_and_inline_are_exclusive(self, tmp_path, capsys):
+        spec_path = tmp_path / "c.json"
+        spec_path.write_text("{}", encoding="utf-8")
+        code = main(
+            [
+                "sweep",
+                "--spec", str(spec_path),
+                "--scenarios", "edge_ai",
+                "--schedulers", "FCFS",
+            ]
+        )
+        assert code == 2
+        # --seeds/--seed alongside --spec must not be silently ignored
+        assert main(["sweep", "--spec", str(spec_path), "--seeds", "1"]) == 2
+        assert main(["sweep", "--spec", str(spec_path), "--seed", "7"]) == 2
+
+    def test_bad_seeds_are_a_clean_error(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--scenarios", "classroom_homogeneous",
+                "--schedulers", "FCFS",
+                "--seeds", "abc",
+            ]
+        )
+        assert code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_json_spec_round_trip(self, tmp_path, capsys):
+        """--save-spec output reloads via --spec and reproduces the table."""
+        from repro.experiments import CampaignSpec
+
+        CampaignSpec(
+            scenarios=[
+                {"name": "classroom_homogeneous",
+                 "overrides": {"duration": 60.0}},
+            ],
+            schedulers=["FCFS", "MECT"],
+            seeds=[1, 2],
+            seed=5,
+        ).to_json(tmp_path / "campaign.json")
+
+        first = tmp_path / "first.csv"
+        second = tmp_path / "second.csv"
+        assert main(
+            [
+                "sweep",
+                "--spec", str(tmp_path / "campaign.json"),
+                "--serial",
+                "--save-table", str(first),
+                "--save-spec", str(tmp_path / "resaved.json"),
+            ]
+        ) == 0
+        assert main(
+            [
+                "sweep",
+                "--spec", str(tmp_path / "resaved.json"),
+                "--serial",
+                "--save-table", str(second),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()

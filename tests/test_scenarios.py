@@ -71,3 +71,80 @@ class TestClassroomHomogeneous:
     def test_runs(self):
         result = classroom_homogeneous(duration=200.0).run()
         assert result.summary.total_tasks > 0
+
+
+class TestRegistry:
+    def test_stock_presets_registered(self):
+        from repro.scenarios import available_scenarios
+
+        assert {
+            "classroom_homogeneous", "edge_ai", "satellite_imaging"
+        } <= set(available_scenarios())
+
+    def test_build_scenario_forwards_overrides(self):
+        from repro.scenarios import build_scenario
+
+        scenario = build_scenario("edge_ai", duration=42.0, scheduler="MM")
+        assert scenario.generator["duration"] == 42.0
+        assert scenario.scheduler == "MM"
+
+    def test_lookup_is_case_insensitive(self):
+        from repro.scenarios import scenario_factory
+
+        assert scenario_factory("Edge_AI") is scenario_factory("edge_ai")
+
+    def test_unknown_name_raises(self):
+        from repro.core.errors import UnknownScenarioError
+        from repro.scenarios import build_scenario
+
+        with pytest.raises(UnknownScenarioError):
+            build_scenario("does_not_exist")
+
+    def test_register_custom_scenario(self):
+        from repro.core.errors import ConfigurationError
+        from repro.scenarios import (
+            build_scenario,
+            register_scenario,
+        )
+        from repro.scenarios import registry as registry_module
+
+        @register_scenario("test_custom_preset")
+        def tiny(*, scheduler="FCFS", seed=0):
+            return classroom_homogeneous(
+                scheduler=scheduler, duration=50.0, seed=seed
+            )
+
+        try:
+            scenario = build_scenario("test_custom_preset", scheduler="MECT")
+            assert scenario.scheduler == "MECT"
+            # collisions are rejected unless explicitly overwritten
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_scenario("test_custom_preset")(lambda: None)
+            register_scenario("test_custom_preset", overwrite=True)(tiny)
+        finally:
+            registry_module._REGISTRY.pop("test_custom_preset", None)
+
+    def test_custom_scenario_sweepable_in_campaign(self):
+        from repro.experiments import CampaignSpec, run_campaign
+        from repro.scenarios import register_scenario
+        from repro.scenarios import registry as registry_module
+
+        @register_scenario("test_sweep_preset")
+        def tiny(*, scheduler="FCFS", seed=0):
+            return classroom_homogeneous(
+                scheduler=scheduler, duration=40.0, seed=seed
+            )
+
+        try:
+            spec = CampaignSpec(
+                scenarios=["test_sweep_preset"],
+                schedulers=["FCFS"],
+                seeds=[1, 2],
+            )
+            # parallel: the runner pins the fork start method where the
+            # platform has it, so the runtime-registered preset must reach
+            # the worker processes too
+            result = run_campaign(spec, workers=2)
+            assert len(result.records) == 2
+        finally:
+            registry_module._REGISTRY.pop("test_sweep_preset", None)
