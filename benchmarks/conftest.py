@@ -27,3 +27,4 @@ def assignment_config():
     from repro.education.assignment import AssignmentConfig
 
     return AssignmentConfig(duration=500.0, replications=5, seed=2023)
+

@@ -8,7 +8,6 @@ burn more energy per completed task than deadline-only Min-Min, and FELARE's
 fairness index is at least ELARE's (that is its whole point).
 """
 
-import pytest
 
 from repro.metrics.stats import summarize
 from repro.scenarios import edge_ai

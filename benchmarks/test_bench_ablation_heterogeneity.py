@@ -7,7 +7,6 @@ homogeneous system EET awareness is worthless; the more machines differ, the
 more an EET-aware mapper wins.
 """
 
-import pytest
 
 from repro.core.config import Scenario
 from repro.machines.eet_generation import generate_eet_cvb

@@ -8,7 +8,6 @@ batch mapper's quality advantage — the trade-off behind the paper's
 statement, made quantitative.
 """
 
-import pytest
 
 from repro.core.config import Scenario
 from repro.education.assignment import AssignmentConfig, build_heterogeneous_eet

@@ -7,7 +7,6 @@ queues degenerate batch mode toward immediate-mode commitment. Sweeps
 capacity ∈ {1, 2, 3, 5, 10} for Min-Min on a saturated heterogeneous system.
 """
 
-import pytest
 
 from repro.core.config import Scenario
 from repro.education.assignment import AssignmentConfig, build_heterogeneous_eet

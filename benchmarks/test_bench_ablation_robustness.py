@@ -8,7 +8,6 @@ failed machines evict their work back to the batch queue, and the batch
 mapper re-plans around the outage while immediate mode has already committed.
 """
 
-import pytest
 
 from repro.core.config import Scenario
 from repro.education.assignment import AssignmentConfig, build_heterogeneous_eet

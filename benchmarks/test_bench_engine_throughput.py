@@ -2,17 +2,25 @@
 
 Not a paper figure, but the performance envelope that makes the educational
 tool interactive: the DES core must stay far above real-time for classroom
-system sizes. Benchmarks the end-to-end engine on a medium scenario and on
-a larger machine population, reporting events/sec.
+system sizes. Benchmarks the end-to-end engine on a medium scenario, on a
+larger machine population, under the batch mapping loop, and on a scale-tier
+preset (hundreds of machines).
+
+Each benchmark attaches ``events`` / ``events_per_sec`` to pytest-benchmark's
+``extra_info``; ``benchmarks/check_regression.py`` compares those numbers
+against the committed baseline (``results/engine_throughput_baseline.json``)
+and fails CI on >30% regression.
 """
 
 import pytest
 
+from bench_recording import record_result_line
 from repro.core.config import Scenario
 from repro.machines.eet_generation import generate_eet_cvb
+from repro.scenarios import build_scenario
 
 
-def build_scenario(n_machines_per_type: int, duration: float) -> Scenario:
+def build_scenario_throughput(n_machines_per_type: int, duration: float) -> Scenario:
     eet = generate_eet_cvb(
         4, 4, mean_task=12.0, v_task=0.4, v_machine=0.5, seed=3
     )
@@ -34,21 +42,21 @@ def build_scenario(n_machines_per_type: int, duration: float) -> Scenario:
 def test_bench_engine_throughput(
     benchmark, results_dir, machines_per_type, duration
 ):
-    scenario = build_scenario(machines_per_type, duration)
+    scenario = build_scenario_throughput(machines_per_type, duration)
 
     result = benchmark(scenario.run)
 
     events_per_sec = result.events_processed / benchmark.stats["mean"]
-    out = (
-        f"engine throughput ({machines_per_type * 4} machines): "
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    record_result_line(
+        results_dir / "engine_throughput.txt",
+        f"engine throughput ({machines_per_type * 4} machines)",
         f"{result.events_processed} events, "
         f"{result.summary.total_tasks} tasks, "
         f"{events_per_sec:,.0f} events/s "
-        f"(mean wall {benchmark.stats['mean'] * 1e3:.1f} ms)\n"
+        f"(mean wall {benchmark.stats['mean'] * 1e3:.1f} ms)",
     )
-    path = results_dir / "engine_throughput.txt"
-    with path.open("a", encoding="utf-8") as fh:
-        fh.write(out)
 
     assert result.summary.total_tasks > 0
     # Interactive envelope: the engine must process far faster than the
@@ -72,11 +80,31 @@ def test_bench_batch_policy_throughput(benchmark, results_dir):
     )
     result = benchmark(scenario.run)
     events_per_sec = result.events_processed / benchmark.stats["mean"]
-    with (results_dir / "engine_throughput.txt").open(
-        "a", encoding="utf-8"
-    ) as fh:
-        fh.write(
-            f"batch MM throughput: {events_per_sec:,.0f} events/s "
-            f"({result.summary.total_tasks} tasks)\n"
-        )
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    record_result_line(
+        results_dir / "engine_throughput.txt",
+        "batch MM throughput",
+        f"{events_per_sec:,.0f} events/s ({result.summary.total_tasks} tasks)",
+    )
     assert events_per_sec > 500
+
+
+def test_bench_scale_tier_throughput(benchmark, results_dir):
+    """Scale tier: 96 machines, ~11k tasks — the registered scale_campus
+    preset, run once per round (the workload is large enough that a single
+    run is a stable measurement)."""
+    scenario = build_scenario("scale_campus")
+    result = benchmark.pedantic(scenario.run, rounds=3, iterations=1, warmup_rounds=1)
+    events_per_sec = result.events_processed / benchmark.stats["mean"]
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    record_result_line(
+        results_dir / "engine_throughput.txt",
+        "scale tier (96 machines)",
+        f"{result.events_processed} events, "
+        f"{result.summary.total_tasks} tasks, "
+        f"{events_per_sec:,.0f} events/s",
+    )
+    assert result.summary.total_tasks > 5000
+    assert events_per_sec > 1000

@@ -6,7 +6,6 @@ every policy, and FCFS ≈ MECT on a homogeneous system (EET awareness buys
 nothing when all machines are identical) while load-blind MEET collapses.
 """
 
-import pytest
 
 from repro.education.assignment import build_homogeneous_eet, run_completion_sweep
 

@@ -10,6 +10,8 @@ Subcommands mirror the E2C GUI surface:
 * ``e2c-sim scenarios`` — list registered scenario presets.
 * ``e2c-sim sweep`` — run an experiment campaign (scenario grid x scheduler
   list x seed list) over worker processes and print the comparison table.
+* ``e2c-sim bench`` — engine-throughput benchmark over registered scenarios
+  (defaults to the scale tier).
 * ``e2c-sim assignment`` — regenerate the class-assignment figures (5/6/7).
 * ``e2c-sim table1`` — the positioning table.
 * ``e2c-sim quiz`` — print a quiz sheet (and, with ``--key``, its answers).
@@ -25,7 +27,6 @@ from . import __version__
 from .core.config import Scenario
 from .core.errors import E2CError
 from .machines.eet import EETMatrix
-from .machines.machine_queue import UNBOUNDED
 from .scheduling.base import SchedulingMode
 from .scheduling.registry import available_schedulers, scheduler_class
 from .tasks.generator import WorkloadGenerator
@@ -163,6 +164,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the expanded campaign spec to JSON (reload with --spec)",
     )
 
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark engine throughput on registered scenarios",
+        description=(
+            "Run registered scenario presets end-to-end and report engine "
+            "throughput (events/second). Defaults to the scale tier "
+            "(scale_campus), whose hundreds of machines and tens of "
+            "thousands of tasks exercise the hot path the way the "
+            "benchmark-regression CI gate does."
+        ),
+    )
+    bench.add_argument(
+        "--scenarios", default="scale_campus", metavar="NAME[,NAME...]",
+        help="comma-separated registered scenario names (see 'scenarios'); "
+        "default: scale_campus",
+    )
+    bench.add_argument(
+        "--scheduler", default=None,
+        help="override the preset's scheduling policy",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=3,
+        help="runs per scenario; best and mean are reported (default 3)",
+    )
+    bench.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="also write machine-readable results to FILE",
+    )
+
     assign = sub.add_parser(
         "assignment", help="regenerate the class-assignment figures (5/6/7)"
     )
@@ -226,9 +256,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = scenario.run()
 
     bundle = result.reports
+    # Save before printing: stdout may be a pager/head that closes early,
+    # and a BrokenPipeError must not cost the user their report CSVs.
+    paths = bundle.save_all(args.save_reports) if args.save_reports else None
     print(bundle.by_name(args.report).to_text())
-    if args.save_reports is not None:
-        paths = bundle.save_all(args.save_reports)
+    if paths is not None:
         print(f"\nsaved: {', '.join(str(p) for p in paths)}")
     return 0
 
@@ -335,6 +367,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as json_module
+    import time
+
+    from .scenarios import build_scenario
+
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    names = _split_csv(args.scenarios)
+    if not names:
+        print("error: --scenarios must name at least one preset", file=sys.stderr)
+        return 2
+    overrides = {} if args.scheduler is None else {"scheduler": args.scheduler}
+
+    header = (
+        f"{'scenario':<20} {'sched':<8} {'tasks':>7} {'events':>8} "
+        f"{'best ev/s':>10} {'mean ev/s':>10} {'wall s':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    results = []
+    for name in names:
+        scenario = build_scenario(name, **overrides)
+        walls = []
+        result = None
+        for _ in range(args.repeat):
+            t0 = time.perf_counter()
+            result = scenario.run()
+            walls.append(time.perf_counter() - t0)
+        assert result is not None
+        events = result.events_processed
+        best = events / min(walls)
+        mean = events / (sum(walls) / len(walls))
+        row = {
+            "scenario": name,
+            "scheduler": result.scheduler_name,
+            "tasks": result.summary.total_tasks,
+            "events": events,
+            "repeat": args.repeat,
+            "best_events_per_sec": best,
+            "mean_events_per_sec": mean,
+            "mean_wall_s": sum(walls) / len(walls),
+            "completion_rate": result.summary.completion_rate,
+        }
+        results.append(row)
+        print(
+            f"{name:<20} {result.scheduler_name:<8} "
+            f"{row['tasks']:>7} {events:>8} {best:>10,.0f} {mean:>10,.0f} "
+            f"{row['mean_wall_s']:>7.2f}"
+        )
+    if args.json is not None:
+        args.json.write_text(
+            json_module.dumps(results, indent=2), encoding="utf-8"
+        )
+        print(f"\nsaved: {args.json}")
+    return 0
+
+
 def _cmd_assignment(args: argparse.Namespace) -> int:
     from .education.assignment import (
         AssignmentConfig,
@@ -385,6 +476,7 @@ _COMMANDS = {
     "schedulers": _cmd_schedulers,
     "scenarios": _cmd_scenarios,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "assignment": _cmd_assignment,
     "table1": _cmd_table1,
     "quiz": _cmd_quiz,

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..machines.cluster import Cluster
 from ..machines.eet import EETMatrix
-from ..machines.execution import ExecutionTimeModel, execution_model_from_spec
+from ..machines.execution import execution_model_from_spec
 from ..machines.failures import FailureModel
 from ..machines.machine_queue import UNBOUNDED
 from ..machines.power import PowerProfile
@@ -124,10 +124,26 @@ class Scenario:
 
         ``replication`` offsets the derived seed so replicated runs of the
         same scenario draw independent workloads while staying reproducible.
+
+        Generation is a pure function of (EET, machine counts, recipe, seed,
+        replication), so repeated builds of the same scenario — replications,
+        benchmark rounds, campaign cells — memoise the generated trace and
+        hand out pristine copies instead of re-sampling the arrival
+        processes each time.
         """
         if self.workload is not None:
             return self.workload.fresh_copy()
         assert self.generator is not None
+        cache_key = (
+            replication,
+            self.seed,
+            id(self.eet),
+            repr(dict(self.machine_counts)),
+            repr(self.generator),
+        )
+        cached = getattr(self, "_workload_cache", None)
+        if cached is not None and cached[0] == cache_key:
+            return cached[1].fresh_copy()
         recipe = dict(self.generator)
         specs = [
             TaskTypeSpec.from_dict(s) if isinstance(s, Mapping) else s
@@ -143,20 +159,23 @@ class Scenario:
         )
         seed = derive_seed(self.seed, "workload", replication)
         if "n_tasks" in recipe:
-            return gen.generate_count(
+            workload = gen.generate_count(
                 recipe["n_tasks"],
                 intensity=recipe.get("intensity", "medium"),
                 seed=seed,
             )
-        if "duration" not in recipe:
+        elif "duration" not in recipe:
             raise ConfigurationError(
                 "generator recipe needs 'duration' or 'n_tasks'"
             )
-        return gen.generate(
-            recipe["duration"],
-            intensity=recipe.get("intensity", "medium"),
-            seed=seed,
-        )
+        else:
+            workload = gen.generate(
+                recipe["duration"],
+                intensity=recipe.get("intensity", "medium"),
+                seed=seed,
+            )
+        self._workload_cache = (cache_key, workload)
+        return workload.fresh_copy()
 
     def build_scheduler(self) -> Scheduler:
         return create_scheduler(self.scheduler, **self.scheduler_params)

@@ -101,6 +101,10 @@ class Simulator:
         self.scheduler = scheduler
         self.drop_on_deadline = drop_on_deadline
         self.execution_model = execution_model or DeterministicExecution()
+        # Deterministic runtimes (the default) need no sampling call per start.
+        self._deterministic_execution = (
+            type(self.execution_model) is DeterministicExecution
+        )
         self.enable_network = enable_network
         self.failure_model = failure_model
         from ..scheduling.overhead import SchedulingOverhead
@@ -136,15 +140,29 @@ class Simulator:
         self._events_processed = 0
         self._finished = False
         self._result: SimulationResult | None = None
+        self._arrived = 0  # arrival events processed (O(1) remaining_arrivals)
+        self._overhead_free = self.scheduling_overhead.is_free
+        # One context object reused across passes (policies treat it as a
+        # read-only view; only now/pending vary between passes).
+        self._ctx = SchedulingContext(
+            now=0.0,
+            pending=(),
+            cluster=self.cluster,
+            type_stats=self.type_stats,
+            rng=self.rng,
+        )
 
+        initial: list[Event] = []
+        inf = float("inf")
         for task in workload:
-            self.events.push(
+            initial.append(
                 Event(task.arrival_time, EventType.TASK_ARRIVAL, task)
             )
-            if self.drop_on_deadline and task.deadline != float("inf"):
-                self.events.push(
+            if self.drop_on_deadline and task.deadline != inf:
+                initial.append(
                     Event(task.deadline, EventType.TASK_DEADLINE, task)
                 )
+        self.events.push_many(initial)
         if self.failure_model is not None and len(workload) > 0:
             for machine in self.cluster:
                 self._schedule_failure(machine)
@@ -153,7 +171,7 @@ class Simulator:
 
     @property
     def now(self) -> float:
-        return self.clock.now
+        return self.clock._now  # single attribute hop; .now is a property
 
     @property
     def is_finished(self) -> bool:
@@ -180,27 +198,43 @@ class Simulator:
         self.clock.advance_to(event.time)
         self._dispatch(event)
         self._events_processed += 1
-        for observer in self.observers:
-            observer(self, event)
+        if self.observers:
+            for observer in self.observers:
+                observer(self, event)
         if not self.events:
             self._finish()
         return event
 
     def run(self, until: float | None = None) -> SimulationResult:
         """Run to completion (or to simulated time *until*) and return results."""
+        if until is None:
+            if self.observers:
+                while not self._finished:
+                    self.step()
+            else:
+                # Hot path: the step() body inlined with pre-bound locals —
+                # one function call and two queue-emptiness probes fewer per
+                # event than stepping, with identical semantics.
+                events = self.events
+                clock = self.clock
+                dispatch = self._dispatch
+                while events:
+                    event = events.pop()
+                    clock.advance_to(event.time)
+                    dispatch(event)
+                    self._events_processed += 1
+                if not self._finished:
+                    self._finish()
+            assert self._result is not None
+            return self._result
         while not self._finished:
             next_time = self.events.next_time()
             if next_time is None:
                 break
-            if until is not None and next_time > until:
+            if next_time > until:
                 self.clock.advance_to(until)
                 break
             self.step()
-        if until is None:
-            if not self._finished:
-                self._finish()
-            assert self._result is not None
-            return self._result
         return self._build_result()
 
     def result(self) -> SimulationResult:
@@ -232,6 +266,7 @@ class Simulator:
             raise SimulationStateError(f"unhandled event type {event.type}")
 
     def _on_arrival(self, task: Task) -> None:
+        self._arrived += 1
         self.batch_queue.push(task)
         self._scheduling_pass()
 
@@ -336,6 +371,8 @@ class Simulator:
     # -- scheduling ---------------------------------------------------------------------
 
     def _scheduling_pass(self) -> None:
+        if self.batch_queue.is_empty:
+            return  # nothing to sweep, nothing to map
         now = self.now
         if self.drop_on_deadline:
             for task in self.batch_queue.sweep_expired(now):
@@ -344,17 +381,16 @@ class Simulator:
         pending = self.batch_queue.snapshot()
         if not pending:
             return
-        ctx = SchedulingContext(
-            now=now,
-            pending=pending,
-            cluster=self.cluster,
-            type_stats=self.type_stats,
-            rng=self.rng,
-        )
+        ctx = self._ctx
+        ctx.now = now
+        ctx.pending = pending
         assignments = self.scheduler.schedule(ctx)
-        decision_delay = self.scheduling_overhead.pass_delay(
-            len(pending), len(self.cluster)
-        )
+        if self._overhead_free:
+            decision_delay = 0.0
+        else:
+            decision_delay = self.scheduling_overhead.pass_delay(
+                len(pending), len(self.cluster)
+            )
         self._apply(assignments, decision_delay=decision_delay)
 
     def _apply(
@@ -364,6 +400,7 @@ class Simulator:
         decision_delay: float = 0.0,
     ) -> None:
         now = self.now
+        network = self.enable_network
         for assignment in assignments:
             task, machine = assignment.task, assignment.machine
             if task.status is not TaskStatus.IN_BATCH_QUEUE:
@@ -379,7 +416,10 @@ class Simulator:
                 raise SchedulingError(
                     f"{self.scheduler.name}: task {task.id} not in batch queue"
                 )
-            delay = self._transfer_delay(task, machine) + decision_delay
+            if network:
+                delay = self._transfer_delay(task, machine) + decision_delay
+            else:
+                delay = decision_delay
             if delay > 0:
                 task.available_at = now + delay
             machine.enqueue(task, now)
@@ -402,11 +442,16 @@ class Simulator:
 
     def _try_start(self, machine: Machine) -> None:
         """Start the machine's next task if possible; schedule its completion."""
+        if machine.running is not None or not machine.queue:
+            return  # busy or nothing queued: the common _apply case
         head = machine.queue.peek()
         runtime = None
-        if head is not None and machine.is_idle:
+        if head is not None:
             expected = machine.eet_for(head)
-            runtime = self.execution_model.sample(head, expected, self.rng)
+            if self._deterministic_execution:
+                runtime = expected
+            else:
+                runtime = self.execution_model.sample(head, expected, self.rng)
         started = machine.start_next(self.now, runtime)
         if started is not None:
             event = self.events.push(
@@ -449,20 +494,13 @@ class Simulator:
     # -- renderer-facing state ------------------------------------------------------------
 
     def counts(self) -> dict[str, int]:
-        """Live outcome counters (the cancelled/missed boxes of the GUI)."""
-        tasks = self.collector.tasks()
-        return {
-            "completed": sum(
-                1 for t in tasks if t.status is TaskStatus.COMPLETED
-            ),
-            "cancelled": sum(
-                1 for t in tasks if t.status is TaskStatus.CANCELLED
-            ),
-            "missed": sum(1 for t in tasks if t.status is TaskStatus.MISSED),
-        }
+        """Live outcome counters (the cancelled/missed boxes of the GUI).
+
+        O(1): reads the collector's incrementally-maintained counters
+        instead of scanning every recorded task per rendered frame.
+        """
+        return self.collector.counts()
 
     def remaining_arrivals(self) -> int:
-        """Workload tasks that have not arrived yet."""
-        return sum(
-            1 for t in self.workload if t.status is TaskStatus.CREATED
-        )
+        """Workload tasks that have not arrived yet (O(1))."""
+        return len(self.workload) - self._arrived

@@ -21,7 +21,7 @@ the intuition that batch heuristics are harder to trace by hand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np

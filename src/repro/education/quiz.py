@@ -15,7 +15,7 @@ student's per-method mapping against that truth, one point per task.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np

@@ -20,7 +20,28 @@ from .machine_queue import UNBOUNDED
 from .machine_type import MachineType
 from .power import PowerProfile
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "ClusterState"]
+
+
+class ClusterState:
+    """Incrementally-maintained planning arrays shared with the machines.
+
+    Every machine state transition (enqueue, start, finish, drop, fail,
+    repair) mirrors three scalars into these arrays, so the per-decision
+    ``ready_times`` sweep is a single vectorised expression instead of a
+    Python loop over machines scanning queues. ``idle`` / ``n_idle`` form the
+    O(1) idle-machine index used by renderers and idle-seeking policies.
+    """
+
+    __slots__ = ("finish_at", "queued_work", "up", "idle", "n_idle", "n_down")
+
+    def __init__(self, n: int) -> None:
+        self.finish_at = np.zeros(n)   # run_finishes_at, 0.0 while idle
+        self.queued_work = np.zeros(n)  # Σ EET of queued tasks
+        self.up = np.ones(n, dtype=bool)
+        self.idle = np.ones(n, dtype=bool)  # up and not running
+        self.n_idle = n
+        self.n_down = 0
 
 
 class Cluster:
@@ -47,6 +68,27 @@ class Cluster:
         self._machine_cols = np.array(
             [col_of[m.machine_type.name] for m in machines], dtype=int
         )
+        # (n_task_types, n_machines) EET expanded to machine granularity —
+        # one fancy-index gather per batch pass instead of per-task vstacks.
+        self._eet_by_machine = np.ascontiguousarray(
+            eet.values[:, self._machine_cols]
+        )
+        # eet_vector hands out row views of this cache; keep it immutable so
+        # a policy mutating its "own" EET vector cannot corrupt the cluster.
+        self._eet_by_machine.setflags(write=False)
+        self._row_of = {t.name: t.index for t in eet.task_types}
+        # Python-float copies of the EET rows for the small-cluster scalar
+        # fast path (argmin_completion): plain list indexing avoids NumPy
+        # scalar boxing inside the per-machine loop.
+        self._eet_lists = [row.tolist() for row in self._eet_by_machine]
+        self._state = ClusterState(len(self.machines))
+        for i, m in enumerate(self.machines):
+            m.bind_shared_state(self._state, i)
+
+    @property
+    def state(self) -> ClusterState:
+        """The shared planning arrays (read-only by convention)."""
+        return self._state
 
     # -- construction -------------------------------------------------------------
 
@@ -142,20 +184,87 @@ class Cluster:
 
     def eet_vector(self, task: Task) -> np.ndarray:
         """EET of *task* on each machine (aligned with machine order)."""
-        row = self.eet.row(task.task_type)
-        return row[self._machine_cols]
+        row = self._row_of.get(task.task_type.name)
+        if row is None:  # unknown type: defer to EETMatrix for its error
+            return self.eet.row(task.task_type)[self._machine_cols]
+        return self._eet_by_machine[row]
+
+    def eet_rows(self, tasks: Sequence[Task]) -> np.ndarray:
+        """(len(tasks), n_machines) EET sub-matrix in one gather."""
+        row_of = self._row_of
+        try:
+            rows = [row_of[t.task_type.name] for t in tasks]
+        except KeyError:  # unknown type: defer to EETMatrix for its error
+            return np.vstack([self.eet_vector(t) for t in tasks])
+        return self._eet_by_machine[rows]
 
     def ready_times(self, now: float) -> np.ndarray:
-        """ready_time(now) per machine."""
-        return np.array([m.ready_time(now) for m in self.machines])
+        """ready_time(now) per machine.
+
+        Computed from the incrementally-maintained :class:`ClusterState`
+        arrays with the exact same arithmetic as ``Machine.ready_time``
+        (``now + max(0, finish_at - now) + queued_work``), so results are
+        bit-identical to the per-machine scalar path.
+        """
+        state = self._state
+        ready = state.finish_at - now
+        np.maximum(ready, 0.0, out=ready)
+        ready += now
+        ready += state.queued_work
+        if state.n_down:
+            ready[~state.up] = np.inf
+        return ready
 
     def completion_times(self, task: Task, now: float) -> np.ndarray:
         """Expected completion time of *task* on each machine."""
-        return self.ready_times(now) + self.eet_vector(task)
+        out = self.ready_times(now)  # fresh array; safe to reuse in place
+        out += self.eet_vector(task)
+        return out
+
+    def argmin_completion(self, task: Task, now: float) -> int:
+        """Index of the machine minimising completion time (MCT argmin).
+
+        For small, fully-up clusters a scalar Python loop over plain floats
+        beats the fixed overhead of the ~6 NumPy ufunc dispatches the
+        vectorised path costs; both branches perform the identical IEEE
+        operations (and first-minimum tie-break), so the chosen index — and
+        therefore the simulation trajectory — is the same.
+        """
+        state = self._state
+        if not state.n_down and len(self.machines) <= 12:
+            row = self._row_of.get(task.task_type.name)
+            if row is not None:
+                eet_row = self._eet_lists[row]
+                finish = state.finish_at.tolist()
+                queued = state.queued_work.tolist()
+                best = None
+                best_j = 0
+                for j, f in enumerate(finish):
+                    remaining = f - now
+                    if remaining < 0.0:
+                        remaining = 0.0
+                    v = now + remaining + queued[j] + eet_row[j]
+                    if best is None or v < best:
+                        best = v
+                        best_j = j
+                return best_j
+        return int(self.completion_times(task, now).argmin())
 
     def acceptance_mask(self) -> np.ndarray:
         """Boolean mask of machines whose queues can take one more task."""
         return np.array([m.can_accept() for m in self.machines])
+
+    # -- O(1) idle index ---------------------------------------------------------
+
+    @property
+    def n_idle(self) -> int:
+        """Number of up-and-idle machines (maintained incrementally)."""
+        return self._state.n_idle
+
+    def idle_machines(self) -> list[Machine]:
+        """Up-and-idle machines, in id order, without scanning queues."""
+        machines = self.machines
+        return [machines[i] for i in np.flatnonzero(self._state.idle)]
 
     # -- aggregates ------------------------------------------------------------------------
 

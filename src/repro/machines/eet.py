@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import csv
 import io
-import math
 from pathlib import Path
 from typing import Sequence, TextIO
 

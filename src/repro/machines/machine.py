@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..core.errors import SimulationStateError
-from ..tasks.task import Task, TaskStatus
+from ..tasks.task import Task
 from .eet import EETMatrix
 from .machine_queue import UNBOUNDED, MachineQueue
 from .machine_type import MachineType
@@ -26,6 +26,7 @@ from .power import EnergyMeter
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.events import Event
+    from .cluster import ClusterState
 
 __all__ = ["Machine"]
 
@@ -46,6 +47,16 @@ class Machine:
         self.machine_type = machine_type
         self.name = name if name is not None else f"{machine_type.name}-{machine_id}"
         self._eet = eet
+        # Per-machine EET column resolved once: task type name -> seconds as a
+        # plain Python float. eet_for() is on the per-decision hot path; the
+        # generic EETMatrix.lookup costs two dict probes plus a NumPy scalar
+        # extraction per call.
+        if eet.has_machine_type(machine_type.name):
+            self._eet_by_type_name = dict(
+                zip(eet.task_type_names, eet.column(machine_type.name).tolist())
+            )
+        else:  # standalone machine without an EET column; lookup() will raise
+            self._eet_by_type_name = None
         self.queue = MachineQueue(queue_capacity)
         self.running: Task | None = None
         self.run_started_at: float | None = None
@@ -57,12 +68,70 @@ class Machine:
         self.failure_count = 0
         self.up = True  # failure-injection extension: powered-on flag
         self._queued_work = 0.0  # incremental Σ EET of queued tasks
+        # Optional cluster-shared planning arrays (see Cluster/ClusterState);
+        # a standalone machine (no cluster) simply never syncs.
+        self._shared: "ClusterState | None" = None
+        self._shared_idx = 0
 
     # -- EET access -------------------------------------------------------------
 
     def eet_for(self, task: Task) -> float:
         """Expected execution time of *task* on this machine."""
+        by_name = self._eet_by_type_name
+        if by_name is not None:
+            eet = by_name.get(task.task_type.name)
+            if eet is not None:
+                return eet
         return self._eet.lookup(task.task_type, self.machine_type.name)
+
+    # -- cluster-shared planning state ------------------------------------------
+
+    def bind_shared_state(self, state: "ClusterState", index: int) -> None:
+        """Mirror this machine's planning quantities into *state* at *index*.
+
+        The cluster keeps per-machine ``finish_at`` / ``queued_work`` / ``up``
+        NumPy arrays so ``Cluster.ready_times`` is one vectorised expression
+        instead of a Python loop over machines per scheduling decision.
+        """
+        self._shared = state
+        self._shared_idx = index
+        self._sync_shared()
+
+    def _sync_shared(self) -> None:
+        state = self._shared
+        if state is None:
+            return
+        i = self._shared_idx
+        finishes = self.run_finishes_at
+        state.finish_at[i] = 0.0 if finishes is None else finishes
+        state.queued_work[i] = self._queued_work
+        if bool(state.up[i]) != self.up:
+            state.up[i] = self.up
+            state.n_down += -1 if self.up else 1
+        idle_now = self.running is None and self.up
+        if bool(state.idle[i]) != idle_now:
+            state.idle[i] = idle_now
+            state.n_idle += 1 if idle_now else -1
+
+    def _sync_queued(self) -> None:
+        """Cheap sync for transitions that only touch queued work."""
+        state = self._shared
+        if state is not None:
+            state.queued_work[self._shared_idx] = self._queued_work
+
+    def _sync_run(self) -> None:
+        """Cheap sync for start/finish transitions (finish_at + idleness)."""
+        state = self._shared
+        if state is None:
+            return
+        i = self._shared_idx
+        finishes = self.run_finishes_at
+        state.finish_at[i] = 0.0 if finishes is None else finishes
+        state.queued_work[i] = self._queued_work
+        idle_now = self.running is None and self.up
+        if bool(state.idle[i]) != idle_now:
+            state.idle[i] = idle_now
+            state.n_idle += 1 if idle_now else -1
 
     # -- planning quantities ------------------------------------------------------
 
@@ -106,6 +175,7 @@ class Machine:
         task.assign(self, now)
         self.queue.push(task)
         self._queued_work += self.eet_for(task)
+        self._sync_queued()
 
     def can_accept(self, task: Task | None = None) -> bool:
         """Queue has a free slot (and memory headroom, when constrained).
@@ -119,7 +189,7 @@ class Machine:
             return False
         if self.queue.is_full:
             return False
-        if task is not None:
+        if task is not None and self.machine_type.memory_capacity > 0:
             from ..memory.allocation import fits_in_memory
 
             if not fits_in_memory(self, task):
@@ -157,6 +227,7 @@ class Machine:
         self.running = task
         self.run_started_at = now
         self.run_finishes_at = now + actual
+        self._sync_run()
         return task
 
     def finish_running(self, now: float) -> Task:
@@ -187,6 +258,7 @@ class Machine:
         if removed:
             self._queued_work -= self.eet_for(task)
             self.missed_count += 1
+            self._sync_queued()
         return removed
 
     def _detach_running(self, now: float) -> Task:
@@ -198,6 +270,7 @@ class Machine:
         self.run_started_at = None
         self.run_finishes_at = None
         self.completion_event = None
+        self._sync_run()
         return task
 
     def fail(self, now: float) -> list[Task]:
@@ -226,6 +299,7 @@ class Machine:
         self._queued_work = 0.0
         self.up = False
         self.failure_count += 1
+        self._sync_shared()
         return evicted
 
     def repair(self, now: float) -> None:
@@ -234,6 +308,7 @@ class Machine:
             raise SimulationStateError(f"machine {self.name} is not down")
         self.energy.advance_off(now)
         self.up = True
+        self._sync_shared()
 
     def finalize_energy(self, now: float) -> None:
         """Close the trailing power interval at end of simulation."""

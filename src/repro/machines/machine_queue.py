@@ -32,6 +32,7 @@ class MachineQueue:
                     f"or UNBOUNDED, got {capacity}"
                 )
         self._capacity = capacity
+        self._bounded = capacity != UNBOUNDED
         self._queue: deque[Task] = deque()
 
     @property
@@ -40,7 +41,7 @@ class MachineQueue:
 
     @property
     def is_bounded(self) -> bool:
-        return self._capacity != UNBOUNDED
+        return self._bounded
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -60,7 +61,7 @@ class MachineQueue:
 
     @property
     def is_full(self) -> bool:
-        return self.free_slots <= 0
+        return self._bounded and len(self._queue) >= self._capacity
 
     def push(self, task: Task) -> None:
         """Append *task*; raises if the queue is saturated."""

@@ -11,7 +11,7 @@ differences in policy, not in luck).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..core.errors import ConfigurationError
 from .stats import confidence_interval, summarize

@@ -73,9 +73,15 @@ class BatchQueue:
         (its execution would finish strictly after the deadline for any
         positive EET), so it is cancelled rather than mapped.
         """
+        queue = self._queue
+        for task in queue:
+            if task.deadline <= now:
+                break
+        else:
+            return []  # common case: nothing expired, no rebuild
         kept: deque[Task] = deque()
         cancelled: list[Task] = []
-        for task in self._queue:
+        for task in queue:
             if task.deadline <= now:
                 task.cancel(now)
                 cancelled.append(task)

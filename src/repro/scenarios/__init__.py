@@ -17,11 +17,15 @@ from .registry import (
     register_scenario,
     scenario_factory,
 )
+from .scale import scale_campus, scale_datacenter, scale_heavytail
 
 __all__ = [
     "satellite_imaging",
     "edge_ai",
     "classroom_homogeneous",
+    "scale_campus",
+    "scale_datacenter",
+    "scale_heavytail",
     "register_scenario",
     "scenario_factory",
     "build_scenario",

@@ -1,0 +1,180 @@
+"""Scale-tier scenario presets — hundreds of machines, tens of thousands of tasks.
+
+The classroom presets (:mod:`repro.scenarios.presets`) stay at the paper's
+four-machine scale; this tier exists so the engine's performance headroom is
+exercised by *registered, reproducible workloads* rather than only by the
+benchmark harness. Three presets, in increasing order of stress:
+
+* :func:`scale_campus` — a campus cluster: 8 machine types × 12 machines
+  (96 machines), Poisson arrivals, ~10k tasks at medium intensity.
+* :func:`scale_datacenter` — a datacenter population: 12 machine types × 24
+  machines (288 machines), ~30k tasks at medium intensity.
+* :func:`scale_heavytail` — 128 machines under heavy-tailed (Pareto-II)
+  arrivals: dense flash-crowd bursts separated by long silences, the regime
+  where queue depths — and scheduling-pass sizes — explode.
+
+All EETs come from the CVB generator (Ali et al. 2000), so heterogeneity is
+controlled by two coefficients of variation instead of hand-written tables.
+Factories accept the standard ``scheduler`` / ``intensity`` / ``duration`` /
+``seed`` keywords so campaign grids and ``e2c-sim bench`` can sweep them.
+"""
+
+from __future__ import annotations
+
+from ..core.config import Scenario
+from ..machines.eet_generation import generate_eet_cvb
+from .registry import register_scenario
+
+__all__ = ["scale_campus", "scale_datacenter", "scale_heavytail"]
+
+
+def _cvb_scenario(
+    *,
+    name: str,
+    n_task_types: int,
+    n_machine_types: int,
+    machines_per_type: int,
+    scheduler: str,
+    intensity: str | float,
+    duration: float,
+    seed: int,
+    eet_seed: int,
+    mean_task: float,
+    specs: list[dict] | None = None,
+    queue_capacity: float | None = None,
+) -> Scenario:
+    eet = generate_eet_cvb(
+        n_task_types,
+        n_machine_types,
+        mean_task=mean_task,
+        v_task=0.4,
+        v_machine=0.5,
+        seed=eet_seed,
+    )
+    generator: dict = {"duration": duration, "intensity": intensity}
+    if specs is not None:
+        generator["specs"] = specs
+    kwargs: dict = {}
+    if queue_capacity is not None:
+        kwargs["queue_capacity"] = queue_capacity
+    return Scenario(
+        eet=eet,
+        machine_counts={n: machines_per_type for n in eet.machine_type_names},
+        scheduler=scheduler,
+        generator=generator,
+        seed=seed,
+        name=name,
+        **kwargs,
+    )
+
+
+@register_scenario
+def scale_campus(
+    *,
+    scheduler: str = "MECT",
+    intensity: str | float = "medium",
+    duration: float = 1200.0,
+    seed: int = 101,
+    machines_per_type: int = 12,
+) -> Scenario:
+    """Campus cluster: 96 machines (8 types × 12), ~10k Poisson tasks."""
+    return _cvb_scenario(
+        name="scale_campus",
+        n_task_types=6,
+        n_machine_types=8,
+        machines_per_type=machines_per_type,
+        scheduler=scheduler,
+        intensity=intensity,
+        duration=duration,
+        seed=seed,
+        eet_seed=17,
+        mean_task=12.0,
+    )
+
+
+@register_scenario
+def scale_datacenter(
+    *,
+    scheduler: str = "MECT",
+    intensity: str | float = "medium",
+    duration: float = 1500.0,
+    seed: int = 103,
+    machines_per_type: int = 24,
+) -> Scenario:
+    """Datacenter population: 288 machines (12 types × 24), ~30k tasks."""
+    return _cvb_scenario(
+        name="scale_datacenter",
+        n_task_types=8,
+        n_machine_types=12,
+        machines_per_type=machines_per_type,
+        scheduler=scheduler,
+        intensity=intensity,
+        duration=duration,
+        seed=seed,
+        eet_seed=19,
+        mean_task=15.0,
+    )
+
+
+@register_scenario
+def scale_heavytail(
+    *,
+    scheduler: str = "MECT",
+    intensity: str | float = 2.0,
+    duration: float = 1500.0,
+    seed: int = 107,
+    machines_per_type: int = 16,
+    shape: float = 1.6,
+) -> Scenario:
+    """128 machines under heavy-tailed (Pareto-II) flash-crowd arrivals.
+
+    Every task type arrives via a Lomax process with tail index ``shape``
+    (1 < shape <= 2 has infinite variance): long quiet stretches, then
+    bursts that pile tens of tasks into the batch queue at once. The mean
+    gap per type is calibrated so total offered load ≈ ``intensity`` ×
+    system capacity, mirroring the Poisson presets' oversubscription knob.
+    """
+    n_task_types = 6
+    n_machine_types = 8
+    eet = generate_eet_cvb(
+        n_task_types,
+        n_machine_types,
+        mean_task=12.0,
+        v_task=0.4,
+        v_machine=0.5,
+        seed=23,
+    )
+    from ..tasks.generator import (
+        WorkloadGenerator,
+        oversubscription_for_level,
+    )
+
+    # Calibrate per-type arrival rates exactly like the Poisson generator,
+    # then express each as a Pareto process with the same mean rate.
+    ratio = oversubscription_for_level(intensity)
+    calibrator = WorkloadGenerator(
+        eet,
+        machine_counts=[machines_per_type] * n_machine_types,
+    )
+    rates = calibrator.rates_for_oversubscription(ratio)
+    specs = [
+        {
+            "name": name,
+            "arrival": {
+                "kind": "pareto",
+                "shape": shape,
+                # mean gap = scale / (shape - 1)  =>  scale = (shape-1)/rate
+                "scale": (shape - 1.0) / rate,
+            },
+            "slack_factor": 5.0,
+        }
+        for name, rate in rates.items()
+    ]
+    return Scenario(
+        eet=eet,
+        machine_counts={n: machines_per_type for n in eet.machine_type_names},
+        scheduler=scheduler,
+        generator={"duration": duration, "specs": specs},
+        seed=seed,
+        name="scale_heavytail",
+    )

@@ -57,6 +57,12 @@ class LiveTypeStats:
 class SchedulingContext:
     """Everything a policy may consult when mapping tasks.
 
+    The simulator reuses one context object across scheduling passes
+    (``now`` and ``pending`` are updated in place between calls), so treat
+    it as a read-only view valid only for the duration of the current
+    ``schedule()`` call: copy anything you need to keep (e.g.
+    ``list(ctx.pending)``) rather than retaining the context itself.
+
     Attributes
     ----------
     now:
@@ -90,7 +96,7 @@ class SchedulingContext:
         """(len(tasks), n_machines) EET matrix for the given tasks."""
         if not tasks:
             return np.empty((0, len(self.cluster)))
-        return np.vstack([self.cluster.eet_vector(t) for t in tasks])
+        return self.cluster.eet_rows(tasks)
 
     def free_slots(self) -> np.ndarray:
         """Free machine-queue slots per machine (inf when unbounded).

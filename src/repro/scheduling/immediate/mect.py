@@ -8,8 +8,6 @@ lowest machine id.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ...machines.machine import Machine
 from ...tasks.task import Task
 from ..base import ImmediateScheduler
@@ -30,5 +28,5 @@ class MECTScheduler(ImmediateScheduler):
     )
 
     def choose_machine(self, task: Task, ctx: SchedulingContext) -> Machine:
-        completion = ctx.cluster.completion_times(task, ctx.now)
-        return ctx.cluster.machines[int(np.argmin(completion))]
+        cluster = ctx.cluster
+        return cluster.machines[cluster.argmin_completion(task, ctx.now)]

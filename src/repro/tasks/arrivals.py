@@ -39,6 +39,7 @@ __all__ = [
     "NormalProcess",
     "ConstantProcess",
     "BurstyProcess",
+    "ParetoProcess",
     "arrival_process_from_spec",
 ]
 
@@ -226,6 +227,42 @@ class BurstyProcess(ArrivalProcess):
         return np.asarray(gaps[:n])
 
 
+@dataclass(eq=True)
+class ParetoProcess(ArrivalProcess):
+    """Heavy-tailed (Lomax / Pareto-II) inter-arrival gaps.
+
+    ``gap = scale x Pareto(shape)`` with mean ``scale / (shape - 1)``; the
+    polynomial tail produces dense arrival bursts separated by rare, very
+    long silences — the flash-crowd traffic that exercises batch policies
+    and large machine populations far harder than Poisson arrivals.
+    ``shape`` must exceed 1 for the mean (and hence intensity calibration)
+    to exist; shapes just above 1 are extremely bursty, large shapes
+    approach a light tail.
+    """
+
+    shape: float
+    scale: float = 1.0
+    kind = "pareto"
+
+    def __post_init__(self) -> None:
+        if self.shape <= 1.0:
+            raise ConfigurationError(
+                f"pareto shape must be > 1 for a finite mean gap, "
+                f"got {self.shape}"
+            )
+        if self.scale <= 0:
+            raise ConfigurationError(
+                f"pareto scale must be positive, got {self.scale}"
+            )
+
+    def mean_rate(self) -> float:
+        return (self.shape - 1.0) / self.scale
+
+    def _inter_arrivals(self, rng, n, intensity):
+        gaps = self.scale * rng.pareto(self.shape, size=n) / intensity
+        return np.maximum(gaps, _MIN_GAP)
+
+
 _PROCESS_KINDS: dict[str, type[ArrivalProcess]] = {
     "poisson": PoissonProcess,
     "exponential": PoissonProcess,  # alias: exponential inter-arrivals
@@ -233,6 +270,8 @@ _PROCESS_KINDS: dict[str, type[ArrivalProcess]] = {
     "normal": NormalProcess,
     "constant": ConstantProcess,
     "bursty": BurstyProcess,
+    "pareto": ParetoProcess,
+    "heavytail": ParetoProcess,  # alias: heavy-tailed inter-arrivals
 }
 
 

@@ -22,7 +22,7 @@ specs. Two pieces reproduce the class-assignment methodology of §4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -32,7 +32,6 @@ from ..core.rng import make_rng, spawn
 from ..machines.eet import EETMatrix
 from .arrivals import ArrivalProcess, PoissonProcess, arrival_process_from_spec
 from .task import Task
-from .task_type import TaskType
 from .workload import Workload
 
 __all__ = [

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..core.errors import SimulationStateError, WorkloadError
@@ -44,11 +44,18 @@ class TaskStatus(enum.Enum):
 
     @property
     def is_terminal(self) -> bool:
-        return self in (
-            TaskStatus.COMPLETED,
-            TaskStatus.CANCELLED,
-            TaskStatus.MISSED,
-        )
+        return self._terminal
+
+
+# Precompute terminality per member: is_terminal sits on the per-event hot
+# path (every record_terminal and deadline check), and the tuple-membership
+# test costs three enum comparisons per call.
+for _status in TaskStatus:
+    _status._terminal = _status in (
+        TaskStatus.COMPLETED,
+        TaskStatus.CANCELLED,
+        TaskStatus.MISSED,
+    )
 
 
 class DropStage(enum.Enum):
@@ -105,22 +112,27 @@ class Task:
     # -- lifecycle transitions -------------------------------------------------
 
     def enqueue_batch(self) -> None:
-        self._expect(TaskStatus.CREATED)
+        if self.status is not TaskStatus.CREATED:
+            self._expect(TaskStatus.CREATED)
         self.status = TaskStatus.IN_BATCH_QUEUE
 
     def assign(self, machine: "Machine", now: float) -> None:
-        self._expect(TaskStatus.IN_BATCH_QUEUE, TaskStatus.CREATED)
+        status = self.status
+        if status is not TaskStatus.IN_BATCH_QUEUE and status is not TaskStatus.CREATED:
+            self._expect(TaskStatus.IN_BATCH_QUEUE, TaskStatus.CREATED)
         self.status = TaskStatus.ASSIGNED
         self.machine = machine
         self.assigned_time = now
 
     def start(self, now: float) -> None:
-        self._expect(TaskStatus.ASSIGNED)
+        if self.status is not TaskStatus.ASSIGNED:
+            self._expect(TaskStatus.ASSIGNED)
         self.status = TaskStatus.RUNNING
         self.start_time = now
 
     def complete(self, now: float) -> None:
-        self._expect(TaskStatus.RUNNING)
+        if self.status is not TaskStatus.RUNNING:
+            self._expect(TaskStatus.RUNNING)
         self.status = TaskStatus.COMPLETED
         self.completion_time = now
 

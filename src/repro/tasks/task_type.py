@@ -10,7 +10,7 @@ by the network/memory extensions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.errors import ConfigurationError
 

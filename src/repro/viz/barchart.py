@@ -14,7 +14,7 @@ import csv
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence, TextIO
+from typing import TextIO
 
 from ..core.errors import ConfigurationError
 

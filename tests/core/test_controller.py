@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.controller import SimulationController
-from repro.core.errors import ConfigurationError, SimulationStateError
+from repro.core.errors import ConfigurationError
 
 
 @pytest.fixture

@@ -73,3 +73,23 @@ class TestEventStructure:
 
     def test_every_event_type_has_priority(self):
         assert set(EVENT_PRIORITY) == set(EventType)
+
+
+class TestEventCopySemantics:
+    def test_pickle_round_trip(self):
+        import pickle
+
+        event = Event(2.5, EventType.TASK_DEADLINE, payload={"k": 1})
+        clone = pickle.loads(pickle.dumps(event))
+        assert clone.time == event.time
+        assert clone.type is event.type
+        assert clone.payload == event.payload
+        assert clone.seq == event.seq
+        assert clone.sort_key() == event.sort_key()
+
+    def test_deepcopy(self):
+        import copy
+
+        event = Event(1.0, EventType.TASK_ARRIVAL)
+        clone = copy.deepcopy(event)
+        assert clone.sort_key() == event.sort_key()

@@ -7,7 +7,6 @@ from repro.core.events import EventType
 from repro.core.simulator import Simulator
 from repro.machines.cluster import Cluster
 from repro.scheduling.registry import create_scheduler
-from repro.tasks.task import TaskStatus
 
 
 def build_sim(eet, make_workload, triples, scheduler="MECT", **kwargs):

@@ -5,7 +5,6 @@ integer EETs, so assertion values are exact.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.simulator import Simulator
 from repro.machines.cluster import Cluster

@@ -1,6 +1,5 @@
 """Reproducibility: a scenario seed fully determines every artifact."""
 
-import pytest
 
 from repro.scenarios import edge_ai, satellite_imaging
 

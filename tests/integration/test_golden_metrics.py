@@ -1,0 +1,124 @@
+"""Golden-metrics determinism: pinned SummaryMetrics for preset scenarios.
+
+These tests freeze the *exact* numeric output of two registered presets at
+fixed seeds. Their purpose is to make hot-path refactors falsifiable: any
+change to event ordering, floating-point evaluation order, RNG consumption,
+or metrics aggregation that alters simulation results — however slightly —
+fails here with a precise diff, instead of silently shifting every figure
+the repository regenerates.
+
+The values were recorded from the engine as of the hot-path overhaul PR
+(which itself reproduced the pre-overhaul engine bit-for-bit). If a future
+change *intentionally* alters results, re-pin these dictionaries in the same
+commit and say why in its message.
+"""
+
+import pytest
+
+from repro.scenarios import build_scenario
+
+#: satellite_imaging preset under the Min-Min batch policy, seed 41.
+GOLDEN_SATELLITE_MM_SEED41 = {
+    "total_tasks": 231,
+    "completed": 231,
+    "cancelled": 0,
+    "missed": 0,
+    "completion_rate": 1.0,
+    "cancellation_rate": 0.0,
+    "miss_rate": 0.0,
+    "on_time": 231,
+    "on_time_rate": 1.0,
+    "makespan": 604.7227037857455,
+    "total_energy": 226072.09876250156,
+    "idle_energy": 40232.09876250155,
+    "busy_energy": 185840.0,
+    "energy_per_completed_task": 978.6670942099635,
+    "mean_wait_time": 2.9922305547029966,
+    "mean_response_time": 9.01387557634802,
+    "throughput": 0.34332224629298114,
+    "mean_utilization": 0.516841173802529,
+    "fairness_index": 1.0,
+    "completion_rate[image_enhancement]": 1.0,
+    "completion_rate[noise_removal]": 1.0,
+    "completion_rate[object_detection]": 1.0,
+}
+GOLDEN_SATELLITE_EVENTS = 693
+GOLDEN_SATELLITE_END_TIME = 672.8372614772868
+
+#: edge_ai preset with its default FELARE policy and stock seed (11).
+GOLDEN_EDGE_AI_FELARE = {
+    "total_tasks": 309,
+    "completed": 230,
+    "cancelled": 53,
+    "missed": 26,
+    "completion_rate": 0.7443365695792881,
+    "cancellation_rate": 0.1715210355987055,
+    "miss_rate": 0.08414239482200647,
+    "on_time": 230,
+    "on_time_rate": 0.7443365695792881,
+    "makespan": 435.3406242518471,
+    "total_energy": 20916.994251413937,
+    "idle_energy": 357.72767193532894,
+    "busy_energy": 20559.266579478608,
+    "energy_per_completed_task": 90.94345326701712,
+    "mean_wait_time": 19.579392883076395,
+    "mean_response_time": 26.611401585012942,
+    "throughput": 0.521477580800053,
+    "mean_utilization": 0.9599407090092269,
+    "fairness_index": 0.9997405643111807,
+    "completion_rate[face_recognition]": 0.73,
+    "completion_rate[object_detection]": 0.7425742574257426,
+    "completion_rate[speech_recognition]": 0.7592592592592593,
+}
+GOLDEN_EDGE_AI_EVENTS = 848
+GOLDEN_EDGE_AI_END_TIME = 441.0544354507687
+
+
+def _assert_exact(actual: dict, expected: dict) -> None:
+    assert set(actual) == set(expected)
+    mismatches = {
+        key: (expected[key], actual[key])
+        for key in expected
+        if actual[key] != expected[key]
+    }
+    assert not mismatches, (
+        "SummaryMetrics drifted from the golden pin (expected, actual): "
+        f"{mismatches}"
+    )
+
+
+class TestGoldenSatelliteImaging:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_scenario("satellite_imaging", scheduler="MM", seed=41).run()
+
+    def test_summary_exact(self, result):
+        _assert_exact(result.summary.as_dict(), GOLDEN_SATELLITE_MM_SEED41)
+
+    def test_event_count_and_end_time_exact(self, result):
+        assert result.events_processed == GOLDEN_SATELLITE_EVENTS
+        assert result.end_time == GOLDEN_SATELLITE_END_TIME
+
+
+class TestGoldenEdgeAIFelare:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_scenario("edge_ai").run()
+
+    def test_summary_exact(self, result):
+        _assert_exact(result.summary.as_dict(), GOLDEN_EDGE_AI_FELARE)
+
+    def test_event_count_and_end_time_exact(self, result):
+        assert result.events_processed == GOLDEN_EDGE_AI_EVENTS
+        assert result.end_time == GOLDEN_EDGE_AI_END_TIME
+
+
+class TestGoldenStability:
+    """The same seed must reproduce the identical summary twice in-process."""
+
+    def test_back_to_back_runs_identical(self):
+        scenario = build_scenario("satellite_imaging", scheduler="MM", seed=41)
+        first = scenario.run()
+        second = scenario.run()
+        assert first.summary == second.summary
+        assert first.events_processed == second.events_processed

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.machines.cluster import Cluster
-from repro.machines.machine_queue import UNBOUNDED
 from repro.machines.power import PowerProfile
 from repro.tasks.task import Task
 
@@ -119,3 +118,45 @@ class TestUtilities:
         assert clone[0].is_idle
         assert len(clone[0].queue) == 0
         assert clone[0].name == cluster[0].name
+
+
+class TestIdleIndex:
+    def test_all_idle_initially(self, eet_3x2):
+        cluster = Cluster.build(eet_3x2, {"M1": 2, "M2": 1})
+        assert cluster.n_idle == 3
+        assert [m.id for m in cluster.idle_machines()] == [0, 1, 2]
+
+    def test_start_and_finish_update_index(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        machine = cluster[0]
+        task = t1_task(task_types)
+        machine.enqueue(task, 0.0)
+        assert cluster.n_idle == 2  # queued, not yet running
+        machine.start_next(0.0)
+        assert cluster.n_idle == 1
+        assert [m.id for m in cluster.idle_machines()] == [1]
+        machine.finish_running(4.0)
+        assert cluster.n_idle == 2
+
+    def test_failure_removes_from_idle_index(self, eet_3x2):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        cluster[0].fail(1.0)
+        assert cluster.n_idle == 1
+        assert cluster.state.n_down == 1
+        cluster[0].repair(2.0)
+        assert cluster.n_idle == 2
+        assert cluster.state.n_down == 0
+
+    def test_ready_times_reflect_failures(self, eet_3x2):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        cluster[0].fail(1.0)
+        ready = cluster.ready_times(1.0)
+        assert ready[0] == np.inf and ready[1] == 1.0
+
+
+class TestEETCacheImmutability:
+    def test_eet_vector_view_is_read_only(self, eet_3x2, task_types):
+        cluster = Cluster.build(eet_3x2, {"M1": 1, "M2": 1})
+        vec = cluster.eet_vector(t1_task(task_types))
+        with pytest.raises(ValueError):
+            vec += 1.0

@@ -8,7 +8,7 @@ from repro.machines.eet import EETMatrix
 from repro.machines.machine import Machine
 from repro.machines.machine_type import MachineType
 from repro.machines.power import PowerProfile
-from repro.tasks.task import DropStage, Task, TaskStatus
+from repro.tasks.task import Task, TaskStatus
 from repro.tasks.task_type import TaskType
 
 

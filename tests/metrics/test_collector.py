@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.errors import ReportError
 from repro.metrics.collector import MetricsCollector
-from repro.tasks.task import DropStage, Task, TaskStatus
+from repro.tasks.task import DropStage, Task
 from repro.tasks.task_type import TaskType
 
 T1 = TaskType("T1", 0)

@@ -5,7 +5,7 @@ import io
 import pytest
 
 from repro.core.errors import ReportError
-from repro.metrics.reports import Report, ReportBundle
+from repro.metrics.reports import Report
 
 
 @pytest.fixture

@@ -1,6 +1,6 @@
 """Property-based tests: the future-event list is a stable priority queue."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.event_queue import EventQueue

@@ -1,6 +1,5 @@
 """Property-based tests: engine invariants survive failure injection."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

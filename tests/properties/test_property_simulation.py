@@ -5,18 +5,15 @@ population, and policy, every task ends in exactly one of
 COMPLETED / CANCELLED / MISSED, and derived metrics stay within bounds.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.simulator import Simulator
 from repro.machines.cluster import Cluster
-from repro.machines.eet import EETMatrix
 from repro.machines.eet_generation import generate_eet_cvb
 from repro.scheduling.base import SchedulingMode
-from repro.scheduling.registry import create_scheduler, scheduler_class
+from repro.scheduling.registry import create_scheduler
 from repro.tasks.task import Task, TaskStatus
-from repro.tasks.task_type import TaskType
 from repro.tasks.workload import Workload
 
 POLICIES = [

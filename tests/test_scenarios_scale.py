@@ -1,0 +1,109 @@
+"""Scale-tier scenario presets: registration, population size, behaviour.
+
+Full-size scale runs live in the benchmark suite; here the presets are
+exercised at reduced duration so the tier stays covered by the fast tests.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    available_scenarios,
+    build_scenario,
+    scale_campus,
+    scale_datacenter,
+    scale_heavytail,
+)
+from repro.tasks.arrivals import ParetoProcess, arrival_process_from_spec
+
+
+class TestRegistration:
+    def test_all_scale_presets_registered(self):
+        names = available_scenarios()
+        for name in ("scale_campus", "scale_datacenter", "scale_heavytail"):
+            assert name in names
+
+    def test_buildable_by_name(self):
+        scenario = build_scenario("scale_campus", duration=50.0)
+        assert scenario.name == "scale_campus"
+
+
+class TestPopulations:
+    def test_campus_has_96_machines(self):
+        cluster = scale_campus().build_cluster()
+        assert len(cluster) == 96
+
+    def test_datacenter_has_288_machines(self):
+        cluster = scale_datacenter().build_cluster()
+        assert len(cluster) == 288
+
+    def test_heavytail_has_128_machines(self):
+        cluster = scale_heavytail().build_cluster()
+        assert len(cluster) == 128
+
+
+class TestRuns:
+    def test_campus_short_run_conserves_tasks(self):
+        result = scale_campus(duration=60.0).run()
+        summary = result.summary
+        assert summary.total_tasks > 300
+        assert (
+            summary.completed + summary.cancelled + summary.missed
+            == summary.total_tasks
+        )
+
+    def test_heavytail_short_run(self):
+        result = scale_heavytail(duration=120.0).run()
+        assert result.summary.total_tasks > 300
+
+    def test_heavytail_oversubscription_causes_misses(self):
+        # The stock preset runs at 2x capacity: deadline pressure must show.
+        result = scale_heavytail(duration=600.0).run()
+        assert result.summary.completion_rate < 1.0
+
+    def test_determinism_across_runs(self):
+        a = scale_campus(duration=60.0).run()
+        b = scale_campus(duration=60.0).run()
+        assert a.summary == b.summary
+        assert a.events_processed == b.events_processed
+
+
+class TestParetoArrivals:
+    def test_spec_round_trip(self):
+        process = ParetoProcess(shape=1.6, scale=0.3)
+        rebuilt = arrival_process_from_spec(process.spec())
+        assert rebuilt == process
+
+    def test_heavytail_alias(self):
+        process = arrival_process_from_spec(
+            {"kind": "heavytail", "shape": 2.0, "scale": 1.0}
+        )
+        assert isinstance(process, ParetoProcess)
+
+    def test_mean_rate(self):
+        assert ParetoProcess(shape=3.0, scale=1.0).mean_rate() == 2.0
+
+    def test_generate_sorted_positive(self):
+        times = ParetoProcess(shape=1.5, scale=0.2).generate(0.0, 200.0, rng=7)
+        assert len(times) > 10
+        assert (times >= 0.0).all()
+        assert (times[1:] >= times[:-1]).all()
+        assert (times < 200.0).all()
+
+    def test_empirical_rate_tracks_calibration(self):
+        # Heavy tails converge slowly; accept a loose band around the mean.
+        process = ParetoProcess(shape=2.5, scale=0.5)
+        times = process.generate(0.0, 5000.0, rng=3)
+        empirical = len(times) / 5000.0
+        assert empirical == pytest.approx(process.mean_rate(), rel=0.35)
+
+    def test_shape_must_exceed_one(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ParetoProcess(shape=1.0)
+
+    def test_scale_must_be_positive(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ParetoProcess(shape=2.0, scale=0.0)
