@@ -90,6 +90,32 @@ def test_bench_batch_policy_throughput(benchmark, results_dir):
     assert events_per_sec > 500
 
 
+def test_bench_federated_throughput(benchmark, results_dir):
+    """Federated tier: two sites under heavy-tailed arrivals, every task
+    routed through the gateway layer (and often across the WAN) before its
+    destination cluster's vectorised local policy maps it. Guards the
+    federation overhead: events/s must stay within the same order as the
+    single-cluster engine (the committed baseline enforces the floor)."""
+    scenario = build_scenario("fed_heavytail")
+    result = benchmark.pedantic(
+        scenario.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    events_per_sec = result.events_processed / benchmark.stats["mean"]
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    record_result_line(
+        results_dir / "engine_throughput.txt",
+        "federated tier (2 sites, heavy tail)",
+        f"{result.events_processed} events, "
+        f"{result.summary.total_tasks} tasks, "
+        f"{result.offload_rate:.0%} offloaded, "
+        f"{events_per_sec:,.0f} events/s",
+    )
+    assert result.summary.total_tasks > 2000
+    assert 0.0 < result.offload_rate < 1.0
+    assert events_per_sec > 1000
+
+
 def test_bench_scale_tier_throughput(benchmark, results_dir):
     """Scale tier: 96 machines, ~11k tasks — the registered scale_campus
     preset, run once per round (the workload is large enough that a single

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Edge-cloud offloading: when is it worth shipping a task across the WAN?
+
+The federated kernel runs two clusters — a small edge site where every task
+arrives, and a fast cloud behind a WAN link — under one clock. A *gateway*
+policy decides per task whether to keep it local or offload it (paying
+``latency + data_in / bandwidth`` seconds of transfer) before the cluster's
+*local* policy picks a machine. This script compares the four stock gateway
+disciplines on the ``edge_cloud`` preset, then shows how the WAN latency
+itself flips the keep-vs-offload trade-off.
+
+Run:  python examples/edge_cloud_offloading.py
+
+Shell equivalent for a single run:
+
+    e2c-sim run --scenario edge_cloud --policy mect --gateway eet-aware-remote
+"""
+
+from repro.scenarios import build_scenario
+
+
+def compare_gateways() -> None:
+    print("Gateway face-off on edge_cloud (local policy: MECT)\n")
+    header = (
+        f"{'gateway':<18} {'completion':>10} {'on-time':>8} "
+        f"{'mean resp s':>12} {'offloaded':>10} {'WAN s':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for gateway in (
+        "LOCALITY_FIRST",
+        "LEAST_LOADED",
+        "EET_AWARE_REMOTE",
+        "RANDOM_SPLIT",
+    ):
+        # RANDOM_SPLIT defaults to the *arrival* weights (cloud gets none);
+        # give it an explicit 50/50 split so it actually uses the cloud.
+        params = {"weights": [0.5, 0.5]} if gateway == "RANDOM_SPLIT" else None
+        result = build_scenario(
+            "edge_cloud", gateway=gateway, gateway_params=params
+        ).run()
+        summary = result.summary
+        print(
+            f"{gateway:<18} {summary.completion_rate:>10.1%} "
+            f"{summary.on_time_rate:>8.1%} "
+            f"{summary.mean_response_time:>12.2f} "
+            f"{result.offload_rate:>10.1%} {result.wan_time_total:>8.1f}"
+        )
+
+
+def latency_sweep() -> None:
+    print("\nWAN latency sweep (EET-aware gateway): paying for distance\n")
+    header = (
+        f"{'WAN latency s':>13} {'offloaded':>10} {'completion':>11} "
+        f"{'mean resp s':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for latency in (0.0, 0.1, 0.5, 2.0, 8.0):
+        result = build_scenario("edge_cloud", wan_latency=latency).run()
+        print(
+            f"{latency:>13.1f} {result.offload_rate:>10.1%} "
+            f"{result.summary.completion_rate:>11.1%} "
+            f"{result.summary.mean_response_time:>12.2f}"
+        )
+    print(
+        "\nAs the WAN slows, the gateway's completion estimates absorb the\n"
+        "transfer cost and it keeps ever more work on the edge CPUs — the\n"
+        "offload share falls while completions hold, because the routing\n"
+        "decision already prices the network in."
+    )
+
+
+def per_cluster_view() -> None:
+    print("\nPer-cluster + global summary of the stock preset:\n")
+    print(build_scenario("edge_cloud").run().to_text())
+
+
+def main() -> None:
+    compare_gateways()
+    latency_sweep()
+    per_cluster_view()
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,12 @@ from .experiments import (
     ScenarioRef,
     run_campaign,
 )
+from .federation import (
+    ClusterSpec,
+    FederatedSimulationResult,
+    FederatedSimulator,
+    FederationSpec,
+)
 from .machines import (
     UNBOUNDED,
     Cluster,
@@ -117,6 +123,11 @@ __all__ = [
     "EventQueue",
     "Event",
     "EventType",
+    # federation
+    "FederationSpec",
+    "ClusterSpec",
+    "FederatedSimulator",
+    "FederatedSimulationResult",
     # machines
     "EETMatrix",
     "generate_eet_cvb",

@@ -25,7 +25,7 @@ from pathlib import Path
 
 from . import __version__
 from .core.config import Scenario
-from .core.errors import E2CError
+from .core.errors import ConfigurationError, E2CError
 from .machines.eet import EETMatrix
 from .scheduling.base import SchedulingMode
 from .scheduling.registry import available_schedulers, scheduler_class
@@ -49,11 +49,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run a simulation scenario")
-    run.add_argument("--scenario", type=Path, help="scenario JSON file")
+    run.add_argument(
+        "--scenario",
+        help="scenario JSON file, or a registered preset name "
+        "(see 'scenarios')",
+    )
     run.add_argument("--eet", type=Path, help="EET CSV (with --workload)")
     run.add_argument("--workload", type=Path, help="workload trace CSV")
     run.add_argument(
-        "--scheduler", default="MECT", help="policy name (see 'schedulers')"
+        "--scheduler", "--policy", dest="scheduler", default=None,
+        help="local policy name (see 'schedulers'); overrides the scenario's",
+    )
+    run.add_argument(
+        "--gateway", default=None,
+        help="inter-cluster offloading policy for federated presets "
+        "(LOCALITY_FIRST, LEAST_LOADED, EET_AWARE_REMOTE, RANDOM_SPLIT)",
     )
     run.add_argument(
         "--queue-size",
@@ -214,15 +224,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_run_scenario(args: argparse.Namespace) -> Scenario:
+    """--scenario is a JSON path or a registered preset name."""
+    from dataclasses import replace
+
+    source = Path(args.scenario)
+    if source.exists() or source.suffix == ".json":
+        scenario = Scenario.from_json(source)
+        if args.scheduler is not None:
+            scenario = replace(
+                scenario, scheduler=args.scheduler, scheduler_params={}
+            )
+        if args.gateway is not None:
+            scenario = scenario.with_gateway(args.gateway)
+        if args.seed is not None:
+            scenario = replace(scenario, seed=args.seed)
+        return scenario
+    from .scenarios import build_scenario
+
+    overrides: dict = {}
+    if args.scheduler is not None:
+        overrides["scheduler"] = args.scheduler
+    if args.gateway is not None:
+        overrides["gateway"] = args.gateway
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        return build_scenario(str(args.scenario), **overrides)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"scenario preset {args.scenario!r} does not accept these "
+            f"options: {exc}"
+        ) from exc
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.scenario is not None:
-        scenario = Scenario.from_json(args.scenario)
-        if args.scheduler != "MECT" or scenario.scheduler is None:
-            pass  # scenario file wins unless user overrides below
-        if args.seed is not None:
-            from dataclasses import replace
-
-            scenario = replace(scenario, seed=args.seed)
+        scenario = _resolve_run_scenario(args)
     elif args.eet is not None and args.workload is not None:
         extra = {}
         if args.queue_size is not None:
@@ -230,19 +268,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scenario = Scenario.from_csv_files(
             args.eet,
             args.workload,
-            args.scheduler,
+            args.scheduler if args.scheduler is not None else "MECT",
             default_relative_deadline=args.deadline,
             seed=args.seed,
             **extra,
         )
     else:
         print(
-            "error: provide --scenario JSON or both --eet and --workload CSVs",
+            "error: provide --scenario (JSON file or preset name) or both "
+            "--eet and --workload CSVs",
             file=sys.stderr,
         )
         return 2
 
     if args.animate:
+        if scenario.federation is not None:
+            print(
+                "error: --animate is not supported for federated scenarios yet",
+                file=sys.stderr,
+            )
+            return 2
         from .viz.animation import Animator
 
         animator = Animator(
@@ -259,7 +304,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Save before printing: stdout may be a pager/head that closes early,
     # and a BrokenPipeError must not cost the user their report CSVs.
     paths = bundle.save_all(args.save_reports) if args.save_reports else None
-    print(bundle.by_name(args.report).to_text())
+    if hasattr(result, "per_cluster"):
+        # Federated run: per-cluster + global summaries and the offload
+        # matrix, then any non-summary report the user asked for.
+        print(result.to_text())
+        if args.report != "summary":
+            print()
+            print(bundle.by_name(args.report).to_text())
+    else:
+        print(bundle.by_name(args.report).to_text())
     if paths is not None:
         print(f"\nsaved: {', '.join(str(p) for p in paths)}")
     return 0
@@ -287,6 +340,14 @@ def _cmd_schedulers(args: argparse.Namespace) -> int:
     for name in available_schedulers(mode):
         klass = scheduler_class(name)
         print(f"{name:<10} [{klass.mode.value}] {klass.description}")
+    if mode is None:
+        from .scheduling.federation import available_gateways, gateway_class
+
+        print()
+        print("gateway policies (federated scenarios, --gateway):")
+        for name in available_gateways():
+            gateway = gateway_class(name)
+            print(f"{name:<18} [gateway] {gateway.description}")
     return 0
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
@@ -34,6 +34,11 @@ from .errors import ConfigurationError
 from .jsonio import load_json_source
 from .rng import derive_seed
 from .simulator import SimulationResult, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..federation.result import FederatedSimulationResult
+    from ..federation.simulator import FederatedSimulator
+    from ..federation.spec import FederationSpec
 
 __all__ = ["Scenario"]
 
@@ -92,6 +97,7 @@ class Scenario:
     network: dict[str, tuple[float, float]] = field(default_factory=dict)
     failure_model: FailureModel | None = None
     scheduling_overhead: dict | None = None
+    federation: "FederationSpec | None" = None
     name: str = "scenario"
 
     def __post_init__(self) -> None:
@@ -106,6 +112,20 @@ class Scenario:
             )
         if self.workload is not None:
             self.workload.validate_against_eet(self.eet)
+        if self.federation is not None:
+            totals = self.federation.total_machine_counts()
+            declared = {
+                name: int(count)
+                for name, count in dict(self.machine_counts).items()
+                if int(count) > 0
+            }
+            partitioned = {n: c for n, c in totals.items() if c > 0}
+            if declared != partitioned:
+                raise ConfigurationError(
+                    f"federation clusters partition {partitioned}, but the "
+                    f"scenario declares machine_counts {declared}; the "
+                    "cluster counts must sum to the scenario's totals"
+                )
 
     # -- builders --------------------------------------------------------------------
 
@@ -180,7 +200,11 @@ class Scenario:
     def build_scheduler(self) -> Scheduler:
         return create_scheduler(self.scheduler, **self.scheduler_params)
 
-    def build_simulator(self, *, replication: int = 0) -> Simulator:
+    def build_simulator(
+        self, *, replication: int = 0
+    ) -> "Simulator | FederatedSimulator":
+        if self.federation is not None:
+            return self._build_federated_simulator(replication=replication)
         scheduler = self.build_scheduler()
         queue_capacity = (
             UNBOUNDED
@@ -202,7 +226,36 @@ class Scenario:
             ),
         )
 
-    def run(self, *, replication: int = 0) -> SimulationResult:
+    def _build_federated_simulator(
+        self, *, replication: int = 0
+    ) -> "FederatedSimulator":
+        """Assemble the multi-cluster kernel for a federation-bearing scenario."""
+        from ..federation.simulator import FederatedSimulator
+
+        assert self.federation is not None
+        return FederatedSimulator(
+            spec=self.federation,
+            eet=self.eet,
+            workload=self.build_workload(replication=replication),
+            seed=derive_seed(self.seed, "simulation", replication),
+            drop_on_deadline=self.drop_on_deadline,
+            execution_model=execution_model_from_spec(self.execution_model),
+            queue_capacity=self.queue_capacity,
+            enable_network=self.enable_network,
+            failure_model=self.failure_model,
+            scheduling_overhead=SchedulingOverhead.from_spec(
+                self.scheduling_overhead
+            ),
+            power_profiles=self.power_profiles,
+            memory_capacities=self.memory_capacities,
+            network=self.network,
+            default_scheduler=self.scheduler,
+            default_scheduler_params=self.scheduler_params,
+        )
+
+    def run(
+        self, *, replication: int = 0
+    ) -> "SimulationResult | FederatedSimulationResult":
         """Build and run once; the one-liner most experiments need."""
         return self.build_simulator(replication=replication).run()
 
@@ -268,6 +321,9 @@ class Scenario:
             "memory_capacities": dict(self.memory_capacities),
             "network": {k: list(v) for k, v in self.network.items()},
             "scheduling_overhead": self.scheduling_overhead,
+            "federation": (
+                None if self.federation is None else self.federation.to_dict()
+            ),
             "failure_model": (
                 None
                 if self.failure_model is None
@@ -321,6 +377,11 @@ class Scenario:
             for name, p in data.get("power_profiles", {}).items()
         }
         capacity = data.get("queue_capacity")
+        federation = None
+        if data.get("federation") is not None:
+            from ..federation.spec import FederationSpec
+
+            federation = FederationSpec.from_dict(data["federation"])
         return cls(
             eet=eet,
             machine_counts=data["machine_counts"],
@@ -339,6 +400,7 @@ class Scenario:
                 k: (v[0], v[1]) for k, v in data.get("network", {}).items()
             },
             scheduling_overhead=data.get("scheduling_overhead"),
+            federation=federation,
             failure_model=(
                 None
                 if data.get("failure_model") is None
@@ -404,6 +466,22 @@ class Scenario:
         return replace(
             self, scheduler=scheduler, scheduler_params=params,
             name=f"{self.name}:{scheduler}",
+        )
+
+    def with_gateway(self, gateway: str, **params) -> "Scenario":
+        """Copy of this federated scenario under a different offloading policy."""
+        from dataclasses import replace
+
+        if self.federation is None:
+            raise ConfigurationError(
+                "with_gateway requires a federated scenario "
+                "(the 'federation' field is not set)"
+            )
+        federation = replace(
+            self.federation, gateway=gateway, gateway_params=params
+        )
+        return replace(
+            self, federation=federation, name=f"{self.name}~{gateway}"
         )
 
     def with_intensity(self, intensity: str | float) -> "Scenario":

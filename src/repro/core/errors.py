@@ -16,6 +16,7 @@ __all__ = [
     "IncompatibleWorkloadError",
     "SchedulingError",
     "UnknownSchedulerError",
+    "UnknownGatewayError",
     "UnknownScenarioError",
     "SimulationStateError",
     "ReportError",
@@ -53,6 +54,10 @@ class SchedulingError(E2CError):
 
 class UnknownSchedulerError(SchedulingError, KeyError):
     """Requested scheduler name is not present in the registry."""
+
+
+class UnknownGatewayError(SchedulingError, KeyError):
+    """Requested gateway (inter-cluster offloading) policy is not registered."""
 
 
 class UnknownScenarioError(ConfigurationError, KeyError):

@@ -85,15 +85,22 @@ class Event:
         with identical ``(time, priority)``.
     key:
         The precomputed ``(time, priority, seq)`` ordering key.
+    cluster:
+        Owning cluster shard in a federated simulation (see
+        :mod:`repro.federation`): the federation loop routes the event to
+        that shard's handlers. ``None`` for single-cluster simulations and
+        for federation-level events (gateway arrivals, global deadlines).
+        Not part of the ordering key.
     """
 
-    __slots__ = ("time", "type", "payload", "seq", "key")
+    __slots__ = ("time", "type", "payload", "seq", "key", "cluster")
 
     time: float
     type: EventType
     payload: Any
     seq: int
     key: tuple[float, int, int]
+    cluster: int | None
 
     def __init__(
         self,
@@ -101,6 +108,7 @@ class Event:
         type: EventType,
         payload: Any = None,
         seq: int | None = None,
+        cluster: int | None = None,
     ) -> None:
         if seq is None:
             seq = next(_seq_counter)
@@ -109,6 +117,7 @@ class Event:
         _set(self, "payload", payload)
         _set(self, "seq", seq)
         _set(self, "key", (time, type._priority, seq))
+        _set(self, "cluster", cluster)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError(f"Event is immutable; cannot set {name!r}")
@@ -116,7 +125,10 @@ class Event:
     def __reduce__(self):
         # The frozen __setattr__ breaks default pickling/deepcopying;
         # reconstruct through __init__ with the original seq instead.
-        return (Event, (self.time, self.type, self.payload, self.seq))
+        return (
+            Event,
+            (self.time, self.type, self.payload, self.seq, self.cluster),
+        )
 
     def __delattr__(self, name: str) -> None:
         raise AttributeError(f"Event is immutable; cannot delete {name!r}")

@@ -80,6 +80,12 @@ class SimulationResult:
 class Simulator:
     """Discrete-event simulator for one scenario run."""
 
+    #: Cluster-shard id stamped onto every event this engine schedules.
+    #: ``None`` for a standalone (single-cluster) simulation; a federated
+    #: shard (:class:`repro.federation.shard.ClusterShard`) overrides it so
+    #: the federation loop can route popped events back to their shard.
+    _shard_id: int | None = None
+
     def __init__(
         self,
         cluster: Cluster,
@@ -336,7 +342,12 @@ class Simulator:
         assert self.failure_model is not None
         uptime = self.failure_model.sample_uptime(machine, self.rng)
         self.events.push(
-            Event(self.now + uptime, EventType.MACHINE_FAILURE, machine)
+            Event(
+                self.now + uptime,
+                EventType.MACHINE_FAILURE,
+                machine,
+                cluster=self._shard_id,
+            )
         )
 
     def _all_tasks_terminal(self) -> bool:
@@ -354,7 +365,12 @@ class Simulator:
             self.batch_queue.readmit(task)
         downtime = self.failure_model.sample_downtime(machine, self.rng)
         self.events.push(
-            Event(self.now + downtime, EventType.MACHINE_REPAIR, machine)
+            Event(
+                self.now + downtime,
+                EventType.MACHINE_REPAIR,
+                machine,
+                cluster=self._shard_id,
+            )
         )
         # Evicted tasks may be remappable onto surviving machines right now.
         self._scheduling_pass()
@@ -429,6 +445,7 @@ class Simulator:
                         now + delay,
                         EventType.NETWORK_DELIVERY,
                         (machine, task),
+                        cluster=self._shard_id,
                     )
                 )
             self._try_start(machine)
@@ -459,6 +476,7 @@ class Simulator:
                     machine.run_finishes_at,
                     EventType.TASK_COMPLETION,
                     (machine, started),
+                    cluster=self._shard_id,
                 )
             )
             machine.completion_event = event

@@ -1,0 +1,127 @@
+"""Results of a federated simulation: per-cluster, global, and offload views.
+
+Shape-compatible with :class:`repro.core.simulator.SimulationResult` where it
+matters (``summary``, ``reports``, ``events_processed``, ``end_time``,
+``scheduler_name``, ``completion_rate``), so campaign runners, the CLI and
+the benchmark harness consume federated runs unchanged — plus the
+federation-only views: per-cluster summaries, the gateway routing matrix,
+and WAN/offload accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..metrics.collector import SummaryMetrics
+from ..metrics.energy import EnergyBreakdown
+from ..metrics.reports import ReportBundle
+
+__all__ = ["FederatedSimulationResult"]
+
+
+@dataclass(frozen=True)
+class FederatedSimulationResult:
+    """Everything a finished federated run produced."""
+
+    summary: SummaryMetrics
+    per_cluster: dict[str, SummaryMetrics]
+    routing: dict[str, dict[str, int]]
+    offloaded: int
+    wan_time_total: float
+    task_records: list[dict[str, Any]]
+    machine_records: list[dict[str, Any]]
+    energy: EnergyBreakdown
+    end_time: float
+    scheduler_name: str
+    gateway_name: str
+    events_processed: int
+
+    @property
+    def reports(self) -> ReportBundle:
+        """The four E2C reports over the whole federation."""
+        return ReportBundle(
+            self.task_records, self.machine_records, self.summary.as_dict()
+        )
+
+    @property
+    def completion_rate(self) -> float:
+        return self.summary.completion_rate
+
+    @property
+    def offload_rate(self) -> float:
+        """Fraction of routed tasks sent to a non-origin cluster."""
+        total = self.summary.total_tasks
+        return self.offloaded / total if total else 0.0
+
+    # -- routing views -----------------------------------------------------------
+
+    def origins_by_cluster(self) -> dict[str, int]:
+        """Tasks that *arrived* at each cluster (routing-matrix row sums)."""
+        return {src: sum(row.values()) for src, row in self.routing.items()}
+
+    def arrivals_by_cluster(self) -> dict[str, int]:
+        """Tasks *routed to* each cluster (routing-matrix column sums)."""
+        names = list(self.routing)
+        return {
+            dst: sum(self.routing[src][dst] for src in names) for dst in names
+        }
+
+    # -- rendering ----------------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Per-cluster + global summaries and the offload matrix."""
+        lines = [
+            "== Federation Summary ==",
+            f"gateway: {self.gateway_name}    "
+            f"local policy: {self.scheduler_name}    "
+            f"clusters: {len(self.per_cluster)}",
+            "",
+            _cluster_table(self.per_cluster, self.summary),
+            "",
+            _routing_table_text(self.routing),
+            f"offloaded: {self.offloaded}/{self.summary.total_tasks} tasks "
+            f"({self.offload_rate:.1%}), total WAN transfer time "
+            f"{self.wan_time_total:.2f} s",
+        ]
+        return "\n".join(lines)
+
+
+def _cluster_table(
+    per_cluster: Mapping[str, SummaryMetrics], total: SummaryMetrics
+) -> str:
+    header = (
+        f"{'cluster':<14} {'tasks':>7} {'completed':>9} {'rate':>7} "
+        f"{'on-time':>8} {'makespan':>9} {'energy J':>11} {'util':>6}"
+    )
+    rows = [header, "-" * len(header)]
+    for name, summary in per_cluster.items():
+        rows.append(_summary_row(name, summary))
+    rows.append("-" * len(header))
+    rows.append(_summary_row("GLOBAL", total))
+    return "\n".join(rows)
+
+
+def _summary_row(label: str, s: SummaryMetrics) -> str:
+    return (
+        f"{label:<14} {s.total_tasks:>7} {s.completed:>9} "
+        f"{s.completion_rate:>7.1%} {s.on_time_rate:>8.1%} "
+        f"{s.makespan:>9.1f} {s.total_energy:>11.1f} "
+        f"{s.mean_utilization:>6.1%}"
+    )
+
+
+def _routing_table_text(routing: Mapping[str, Mapping[str, int]]) -> str:
+    names = list(routing)
+    width = max([len(n) for n in names] + [7])
+    corner = "origin > dst"
+    header = (
+        f"{corner:<{width + 2}} " + " ".join(f"{n:>{width}}" for n in names)
+    )
+    lines = [header]
+    for src in names:
+        lines.append(
+            f"{src:<{width + 2}} "
+            + " ".join(f"{routing[src][dst]:>{width}}" for dst in names)
+        )
+    return "\n".join(lines)

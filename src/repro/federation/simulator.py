@@ -1,0 +1,440 @@
+"""The federated simulation kernel: N cluster shards, one heap, one clock.
+
+``FederatedSimulator`` hosts multiple :class:`~repro.federation.shard.ClusterShard`
+engines under a single future-event list and simulation clock. Arriving tasks
+hit the **gateway layer** first: a registered gateway policy
+(:mod:`repro.scheduling.federation`) picks the destination cluster; offloaded
+tasks pay the WAN transfer delay of the federation's
+:class:`~repro.net.topology.InterClusterTopology` before entering the
+destination's batch queue, where the cluster's *local* policy maps them to
+machines exactly as in a single-cluster run.
+
+Event flow per task::
+
+    arrival ──▶ gateway policy ──▶ [WAN transfer] ──▶ batch queue ──▶ local
+    (origin      (which cluster?)    (offloads only)    (destination    policy
+     cluster)                                            shard)         ──▶ machine
+
+Routing uses the ``cluster`` id stamped on every event: shard-scheduled
+events (completions, deliveries, failures, repairs) carry their shard index
+and go straight back to the owning shard's handlers; federation-level events
+(initial arrivals, deadlines) carry ``None`` and are handled here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..core.clock import SimulationClock
+from ..core.errors import SchedulingError, SimulationStateError
+from ..core.event_queue import EventQueue
+from ..core.events import Event, EventType
+from ..core.rng import derive_seed, make_rng, spawn
+from ..machines.cluster import Cluster
+from ..machines.eet import EETMatrix
+from ..machines.execution import ExecutionTimeModel
+from ..machines.failures import FailureModel
+from ..machines.machine import Machine
+from ..machines.machine_queue import UNBOUNDED
+from ..machines.power import PowerProfile
+from ..metrics.collector import SummaryMetrics
+from ..metrics.rollup import global_energy, global_summary, routing_table
+from ..scheduling.federation.base import GatewayContext
+from ..scheduling.federation.registry import create_gateway
+from ..scheduling.overhead import SchedulingOverhead
+from ..scheduling.registry import create_scheduler
+from ..tasks.task import Task, TaskStatus
+from ..tasks.workload import Workload
+from .result import FederatedSimulationResult
+from .shard import ClusterShard
+from .spec import FederationSpec
+
+__all__ = ["FederatedSimulator"]
+
+Observer = Callable[["FederatedSimulator", Event], None]
+
+
+class FederatedSimulator:
+    """Discrete-event simulator for one federated (multi-cluster) run."""
+
+    def __init__(
+        self,
+        spec: FederationSpec,
+        eet: EETMatrix,
+        workload: Workload,
+        *,
+        seed: int | None | np.random.Generator = None,
+        drop_on_deadline: bool = True,
+        execution_model: ExecutionTimeModel | None = None,
+        queue_capacity: float = UNBOUNDED,
+        enable_network: bool = False,
+        failure_model: FailureModel | None = None,
+        scheduling_overhead: SchedulingOverhead | None = None,
+        power_profiles: dict[str, PowerProfile] | None = None,
+        memory_capacities: dict[str, float] | None = None,
+        network: dict[str, tuple[float, float]] | None = None,
+        default_scheduler: str = "MECT",
+        default_scheduler_params: dict[str, Any] | None = None,
+        observers: Sequence[Observer] = (),
+    ) -> None:
+        workload.validate_against_eet(eet)
+        self.spec = spec
+        self.workload = workload
+        self.drop_on_deadline = drop_on_deadline
+        self.topology = spec.topology
+        self.observers = list(observers)
+
+        self.clock = SimulationClock()
+        self.events = EventQueue()
+
+        # Independent substreams: origin assignment, gateway draws, one per
+        # shard — so adding a draw to one component never perturbs another,
+        # and sweeping the gateway policy never changes where tasks arrive.
+        if isinstance(seed, np.random.Generator):
+            children = spawn(seed, len(spec.clusters) + 2)
+            origins_rng, self._gateway_rng = children[0], children[1]
+            shard_rngs = children[2:]
+        else:
+            origins_rng = make_rng(derive_seed(seed, "federation", "origins"))
+            self._gateway_rng = make_rng(
+                derive_seed(seed, "federation", "gateway")
+            )
+            shard_rngs = [
+                make_rng(derive_seed(seed, "federation", "shard", i))
+                for i in range(len(spec.clusters))
+            ]
+
+        self.gateway = create_gateway(spec.gateway, **spec.gateway_params)
+        self.gateway.reset()
+
+        self.shards: list[ClusterShard] = []
+        for i, cspec in enumerate(spec.clusters):
+            cluster = Cluster.build(
+                eet,
+                cspec.machine_counts,
+                power_profiles=power_profiles or {},
+                queue_capacity=(
+                    queue_capacity
+                    if cspec.queue_capacity is None
+                    else cspec.queue_capacity
+                ),
+                memory_capacities=memory_capacities or {},
+                network=network or {},
+            )
+            # Qualify machine names so federation-wide reports stay unique
+            # (two shards may both have a "CPU-0").
+            for machine in cluster:
+                machine.name = f"{cspec.name}:{machine.name}"
+            scheduler = (
+                create_scheduler(cspec.scheduler, **cspec.scheduler_params)
+                if cspec.scheduler is not None
+                else create_scheduler(
+                    default_scheduler, **(default_scheduler_params or {})
+                )
+            )
+            self.shards.append(
+                ClusterShard(
+                    index=i,
+                    name=cspec.name,
+                    cluster=cluster,
+                    scheduler=scheduler,
+                    federation=self,
+                    clock=self.clock,
+                    events=self.events,
+                    rng=shard_rngs[i],
+                    weight=cspec.weight,
+                    drop_on_deadline=drop_on_deadline,
+                    execution_model=execution_model,
+                    queue_capacity=(
+                        queue_capacity
+                        if cspec.queue_capacity is None
+                        else cspec.queue_capacity
+                    ),
+                    enable_network=enable_network,
+                    failure_model=failure_model,
+                    scheduling_overhead=scheduling_overhead,
+                )
+            )
+
+        local_names = {shard.scheduler.name for shard in self.shards}
+        self.scheduler_name = (
+            local_names.pop() if len(local_names) == 1 else "mixed"
+        )
+
+        n = len(self.shards)
+        self._routing = [[0] * n for _ in range(n)]
+        self._offloaded = 0
+        self._wan_time = 0.0
+        self._transfers: dict[int, Event] = {}
+        self._events_processed = 0
+        self._finished = False
+        self._result: FederatedSimulationResult | None = None
+        self._ctx = GatewayContext(
+            now=0.0,
+            task=None,  # type: ignore[arg-type]  (set before every decision)
+            origin=0,
+            shards=self.shards,
+            topology=self.topology,
+            rng=self._gateway_rng,
+        )
+
+        # Origin assignment: one vectorised draw, a pure function of the
+        # federation seed — identical across gateway/local-policy sweeps.
+        if len(workload) > 0:
+            weights = np.asarray(spec.arrival_weights(), dtype=float)
+            origins = origins_rng.choice(n, size=len(workload), p=weights / weights.sum())
+            initial: list[Event] = []
+            inf = float("inf")
+            for task, origin in zip(workload, origins):
+                task.origin_cluster = int(origin)
+                initial.append(
+                    Event(task.arrival_time, EventType.TASK_ARRIVAL, task)
+                )
+                if drop_on_deadline and task.deadline != inf:
+                    initial.append(
+                        Event(task.deadline, EventType.TASK_DEADLINE, task)
+                    )
+            self.events.push_many(initial)
+            if failure_model is not None:
+                for shard in self.shards:
+                    shard.start_failure_process()
+
+    # -- public control surface ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock._now
+
+    @property
+    def is_finished(self) -> bool:
+        return self._finished
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def recorded(self) -> int:
+        """Terminal tasks across all shards."""
+        return sum(shard.collector.recorded for shard in self.shards)
+
+    def all_tasks_terminal(self) -> bool:
+        return self.recorded >= len(self.workload)
+
+    def next_event_time(self) -> float | None:
+        return self.events.next_time()
+
+    def step(self) -> Event | None:
+        """Process exactly one event; None when the federation is done."""
+        if self._finished:
+            return None
+        if not self.events:
+            self._finish()
+            return None
+        event = self.events.pop()
+        self.clock.advance_to(event.time)
+        self._dispatch(event)
+        self._events_processed += 1
+        if self.observers:
+            for observer in self.observers:
+                observer(self, event)
+        if not self.events:
+            self._finish()
+        return event
+
+    def run(self, until: float | None = None) -> FederatedSimulationResult:
+        """Run to completion (or simulated time *until*) and return results."""
+        if until is None:
+            if self.observers:
+                while not self._finished:
+                    self.step()
+            else:
+                # Same inlined hot loop as the single-cluster engine.
+                events = self.events
+                clock = self.clock
+                dispatch = self._dispatch
+                while events:
+                    event = events.pop()
+                    clock.advance_to(event.time)
+                    dispatch(event)
+                    self._events_processed += 1
+                if not self._finished:
+                    self._finish()
+            assert self._result is not None
+            return self._result
+        while not self._finished:
+            next_time = self.events.next_time()
+            if next_time is None:
+                break
+            if next_time > until:
+                self.clock.advance_to(until)
+                break
+            self.step()
+        return self._build_result()
+
+    def result(self) -> FederatedSimulationResult:
+        """Result of a finished run."""
+        if self._result is None:
+            raise SimulationStateError(
+                "simulation has not finished; call run() first"
+            )
+        return self._result
+
+    # -- event routing ---------------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> None:
+        cluster_id = event.cluster
+        if cluster_id is None:
+            # Federation-level event: a task arriving at the gateway, or a
+            # deadline firing wherever the task currently is.
+            if event.type is EventType.TASK_ARRIVAL:
+                self._on_gateway_arrival(event.payload)
+            elif event.type is EventType.TASK_DEADLINE:
+                self._on_deadline(event.payload)
+            elif event.type is EventType.CONTROL:  # pragma: no cover - hook
+                pass
+            else:  # pragma: no cover - defensive
+                raise SimulationStateError(
+                    f"federation-level event of type {event.type} has no owner"
+                )
+        elif event.type is EventType.TASK_ARRIVAL:
+            # A WAN transfer completed: the task reaches its destination.
+            self._transfers.pop(event.payload.id, None)
+            self.shards[cluster_id]._on_arrival(event.payload)
+        else:
+            self.shards[cluster_id]._dispatch(event)
+
+    # -- the gateway layer -------------------------------------------------------------
+
+    def _on_gateway_arrival(self, task: Task) -> None:
+        origin = task.origin_cluster
+        if origin is None:  # pragma: no cover - defensive
+            raise SimulationStateError(
+                f"task {task.id} reached the gateway without an origin cluster"
+            )
+        ctx = self._ctx
+        ctx.now = self.now
+        ctx.task = task
+        ctx.origin = origin
+        destination = self.gateway.choose_cluster(ctx)
+        if not 0 <= destination < len(self.shards):
+            raise SchedulingError(
+                f"{self.gateway.name}: cluster index {destination} out of "
+                f"range for {len(self.shards)} clusters"
+            )
+        task.cluster = destination
+        self._routing[origin][destination] += 1
+        shard = self.shards[destination]
+        shard.routed += 1
+        if destination != origin:
+            self._offloaded += 1
+            delay = self.topology.wan_delay(
+                self.shards[origin].name,
+                shard.name,
+                task.task_type.data_in,
+            )
+            if delay > 0:
+                self._wan_time += delay
+                self._transfers[task.id] = self.events.push(
+                    Event(
+                        self.now + delay,
+                        EventType.TASK_ARRIVAL,
+                        task,
+                        cluster=destination,
+                    )
+                )
+                return
+        shard._on_arrival(task)
+
+    def _on_deadline(self, task: Task) -> None:
+        if task.status.is_terminal:
+            return  # completed exactly at (or before) the deadline
+        cluster_id = task.cluster
+        if cluster_id is None:  # pragma: no cover - defensive
+            raise SimulationStateError(
+                f"deadline fired for task {task.id} before any gateway decision"
+            )
+        shard = self.shards[cluster_id]
+        if task.status is TaskStatus.CREATED:
+            # Still crossing the WAN: the transfer is abandoned and the task
+            # is cancelled (deadline before any mapping decision), accounted
+            # to its destination cluster.
+            transfer = self._transfers.pop(task.id, None)
+            if transfer is not None:
+                self.events.cancel(transfer)
+            task.cancel(self.now)
+            shard.collector.record_terminal(task)
+            shard.type_stats.record(task.task_type.name, False)
+            return
+        shard._on_deadline(task)
+
+    # -- termination -------------------------------------------------------------------
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        now = self.now
+        for shard in self.shards:
+            shard.finalize(now)
+        self._result = self._build_result()
+        expected = len(self.workload)
+        if self.drop_on_deadline and self.recorded != expected:
+            raise SimulationStateError(
+                f"conservation violated: {self.recorded} terminal tasks "
+                f"out of {expected} across {len(self.shards)} clusters"
+            )
+
+    def _build_result(self) -> FederatedSimulationResult:
+        now = self.now
+        names = self.spec.names
+        per_cluster: dict[str, SummaryMetrics] = {}
+        machines: list[Machine] = []
+        task_records: list[dict[str, Any]] = []
+        machine_records: list[dict[str, Any]] = []
+        for shard in self.shards:
+            per_cluster[shard.name] = shard.collector.summary(
+                shard.cluster, end_time=now
+            )
+            machines.extend(shard.cluster.machines)
+            for row in shard.collector.task_records():
+                row["cluster"] = shard.name
+                task_records.append(row)
+            for row in shard.collector.machine_records(shard.cluster):
+                row["cluster"] = shard.name
+                machine_records.append(row)
+        task_records.sort(key=lambda row: row["task_id"])
+        summary = global_summary(
+            [shard.collector for shard in self.shards], machines, end_time=now
+        )
+        return FederatedSimulationResult(
+            summary=summary,
+            per_cluster=per_cluster,
+            routing=routing_table(names, self._routing),
+            offloaded=self._offloaded,
+            wan_time_total=self._wan_time,
+            task_records=task_records,
+            machine_records=machine_records,
+            energy=global_energy(machines),
+            end_time=now,
+            scheduler_name=self.scheduler_name,
+            gateway_name=self.gateway.name,
+            events_processed=self._events_processed,
+        )
+
+    # -- renderer-facing state -----------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Live outcome counters summed across shards."""
+        totals = {"completed": 0, "cancelled": 0, "missed": 0}
+        for shard in self.shards:
+            for key, value in shard.collector.counts().items():
+                totals[key] += value
+        return totals
+
+    def remaining_arrivals(self) -> int:
+        """Workload tasks whose gateway decision has not happened yet (O(n))."""
+        routed = sum(shard.routed for shard in self.shards)
+        return len(self.workload) - routed

@@ -1,0 +1,220 @@
+"""Declarative description of a federated (multi-cluster) deployment.
+
+A :class:`FederationSpec` partitions a scenario's machine population into
+named cluster shards, wires them with an inter-cluster WAN topology, and
+names the gateway (offloading) policy that routes arriving tasks between
+them. It plugs into :class:`repro.core.config.Scenario` (its ``federation``
+field) and round-trips through JSON like every other scenario ingredient, so
+a federated experiment stays a reproducible artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.errors import ConfigurationError
+from ..net.topology import InterClusterTopology
+
+__all__ = ["ClusterSpec", "FederationSpec"]
+
+
+@dataclass
+class ClusterSpec:
+    """One cluster shard of a federation.
+
+    Attributes
+    ----------
+    name:
+        Cluster identifier — the node label of the inter-cluster topology
+        and the key of per-cluster results.
+    machine_counts:
+        Machines per machine type inside this cluster, e.g.
+        ``{"edge_cpu": 4}``. Type names must be EET columns.
+    scheduler / scheduler_params:
+        Local scheduling policy for this cluster; ``None`` inherits the
+        scenario-level policy (so ``--policy`` sweeps apply everywhere).
+    queue_capacity:
+        Machine-queue capacity override for this cluster (``None`` inherits
+        the scenario's capacity; immediate policies force unbounded).
+    weight:
+        Relative share of workload arrivals originating at this cluster
+        (0 means tasks never *arrive* here, though the gateway may still
+        *offload* to it).
+    """
+
+    name: str
+    machine_counts: dict[str, int]
+    scheduler: str | None = None
+    scheduler_params: dict[str, Any] = field(default_factory=dict)
+    queue_capacity: float | None = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("cluster name must be non-empty")
+        if "->" in self.name:
+            # '->' is the serialised topology-link separator ("src->dst");
+            # allowing it in a name would break the JSON round-trip.
+            raise ConfigurationError(
+                f"cluster name {self.name!r} must not contain '->'"
+            )
+        if not self.machine_counts:
+            raise ConfigurationError(
+                f"cluster {self.name!r} needs at least one machine type"
+            )
+        counts = {str(k): int(v) for k, v in self.machine_counts.items()}
+        if any(c < 0 for c in counts.values()):
+            raise ConfigurationError(
+                f"cluster {self.name!r}: machine counts must be >= 0"
+            )
+        if sum(counts.values()) == 0:
+            raise ConfigurationError(
+                f"cluster {self.name!r} needs at least one machine"
+            )
+        self.machine_counts = counts
+        if self.weight < 0:
+            raise ConfigurationError(
+                f"cluster {self.name!r}: weight must be >= 0, got {self.weight}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "machine_counts": dict(self.machine_counts),
+            "weight": self.weight,
+        }
+        if self.scheduler is not None:
+            out["scheduler"] = self.scheduler
+        if self.scheduler_params:
+            out["scheduler_params"] = dict(self.scheduler_params)
+        if self.queue_capacity is not None:
+            out["queue_capacity"] = self.queue_capacity
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        try:
+            name = data["name"]
+            machine_counts = data["machine_counts"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"cluster spec is missing required key {exc.args[0]!r}"
+            ) from None
+        return cls(
+            name=str(name),
+            machine_counts=dict(machine_counts),
+            scheduler=data.get("scheduler"),
+            scheduler_params=dict(data.get("scheduler_params", {})),
+            queue_capacity=data.get("queue_capacity"),
+            weight=float(data.get("weight", 1.0)),
+        )
+
+
+@dataclass
+class FederationSpec:
+    """The multi-cluster layer of a scenario.
+
+    Attributes
+    ----------
+    clusters:
+        The cluster shards, in federation order (shard indices follow it).
+    gateway / gateway_params:
+        Registered gateway policy routing arrivals between clusters (see
+        :mod:`repro.scheduling.federation`).
+    topology:
+        Inter-cluster WAN links; offloaded tasks pay
+        ``topology.wan_delay(origin, destination, task.data_in)`` before
+        entering the destination's batch queue.
+    """
+
+    clusters: list[ClusterSpec]
+    gateway: str = "LEAST_LOADED"
+    gateway_params: dict[str, Any] = field(default_factory=dict)
+    topology: InterClusterTopology = field(default_factory=InterClusterTopology)
+
+    def __post_init__(self) -> None:
+        self.clusters = [
+            c if isinstance(c, ClusterSpec) else ClusterSpec.from_dict(c)
+            for c in self.clusters
+        ]
+        if not self.clusters:
+            raise ConfigurationError("a federation needs at least one cluster")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate cluster names: {names}")
+        if sum(c.weight for c in self.clusters) <= 0:
+            raise ConfigurationError(
+                "at least one cluster needs a positive arrival weight"
+            )
+        for src, dst in self.topology.links:
+            for endpoint in (src, dst):
+                if endpoint not in names:
+                    raise ConfigurationError(
+                        f"topology link references unknown cluster "
+                        f"{endpoint!r}; clusters: {names}"
+                    )
+
+    # -- views ---------------------------------------------------------------------
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self.clusters]
+
+    def index_of(self, name: str) -> int:
+        for i, cluster in enumerate(self.clusters):
+            if cluster.name == name:
+                return i
+        raise ConfigurationError(
+            f"unknown cluster {name!r}; clusters: {self.names}"
+        )
+
+    def total_machine_counts(self) -> dict[str, int]:
+        """Machines per machine type summed across all clusters.
+
+        A scenario's global ``machine_counts`` must equal this total — the
+        federation is a partition of the population, not a second one.
+        """
+        totals: dict[str, int] = {}
+        for cluster in self.clusters:
+            for name, count in cluster.machine_counts.items():
+                totals[name] = totals.get(name, 0) + count
+        return totals
+
+    def arrival_weights(self) -> list[float]:
+        return [c.weight for c in self.clusters]
+
+    # -- JSON round-trip ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "clusters": [c.to_dict() for c in self.clusters],
+            "gateway": self.gateway,
+            "gateway_params": dict(self.gateway_params),
+            "topology": self.topology.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FederationSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"federation spec must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        try:
+            clusters = data["clusters"]
+        except KeyError:
+            raise ConfigurationError(
+                "federation spec is missing required key 'clusters'"
+            ) from None
+        topology = data.get("topology")
+        return cls(
+            clusters=[ClusterSpec.from_dict(c) for c in clusters],
+            gateway=str(data.get("gateway", "LEAST_LOADED")),
+            gateway_params=dict(data.get("gateway_params", {})),
+            topology=(
+                InterClusterTopology()
+                if topology is None
+                else InterClusterTopology.from_dict(topology)
+            ),
+        )

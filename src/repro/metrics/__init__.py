@@ -12,9 +12,13 @@ from .queueing import (
     utilization,
 )
 from .reports import Report, ReportBundle
+from .rollup import global_energy, global_summary, routing_table
 from .stats import SummaryStats, confidence_interval, jain_fairness, summarize
 
 __all__ = [
+    "global_summary",
+    "global_energy",
+    "routing_table",
     "MetricsCollector",
     "SummaryMetrics",
     "Report",

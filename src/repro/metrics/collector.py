@@ -127,6 +127,27 @@ class MetricsCollector:
         if on_time:
             self._on_time += 1
 
+    def merge_from(self, other: "MetricsCollector") -> None:
+        """Fold another collector's recorded tasks into this one.
+
+        The federation rollup path: per-cluster collectors stay untouched
+        (per-cluster summaries remain exact) and a scratch collector absorbs
+        them all to aggregate the global summary. Task ids must be disjoint —
+        a task recorded by two shards is a conservation bug.
+        """
+        duplicate = self._seen & other._seen
+        if duplicate:
+            raise ReportError(
+                f"tasks {sorted(duplicate)[:5]} recorded by multiple collectors"
+            )
+        self._tasks.extend(other._tasks)
+        self._seen.update(other._seen)
+        self._rows.extend(other._rows)
+        self._completed += other._completed
+        self._cancelled += other._cancelled
+        self._missed += other._missed
+        self._on_time += other._on_time
+
     @property
     def recorded(self) -> int:
         return len(self._tasks)

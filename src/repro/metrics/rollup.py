@@ -1,0 +1,56 @@
+"""Cross-cluster metric rollups for federated simulations.
+
+A federated run produces one :class:`~repro.metrics.collector.MetricsCollector`
+per cluster shard. This module folds them into the global view: an aggregate
+:class:`~repro.metrics.collector.SummaryMetrics` over every task and machine
+in the federation (computed by the exact single-pass aggregation a
+single-cluster run uses, so a 1-cluster federation matches its standalone
+twin bit-for-bit), a merged energy breakdown, and the offload accounting
+derived from the gateway's routing matrix.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from .collector import MetricsCollector, SummaryMetrics
+from .energy import EnergyBreakdown, energy_breakdown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..machines.machine import Machine
+
+__all__ = [
+    "global_summary",
+    "global_energy",
+    "routing_table",
+]
+
+
+def global_summary(
+    collectors: Sequence[MetricsCollector],
+    machines: Sequence["Machine"],
+    *,
+    end_time: float,
+) -> SummaryMetrics:
+    """Aggregate SummaryMetrics over every shard's tasks and machines."""
+    merged = MetricsCollector()
+    for collector in collectors:
+        merged.merge_from(collector)
+    # MetricsCollector.summary only iterates its cluster argument, so the
+    # federation's flat machine list substitutes for a Cluster.
+    return merged.summary(machines, end_time=end_time)  # type: ignore[arg-type]
+
+
+def global_energy(machines: Sequence["Machine"]) -> EnergyBreakdown:
+    """Energy decomposition across every machine of the federation."""
+    return energy_breakdown(machines)  # type: ignore[arg-type]
+
+
+def routing_table(
+    names: Sequence[str], matrix: Sequence[Sequence[int]]
+) -> dict[str, dict[str, int]]:
+    """Name-keyed view of the gateway's origin x destination counters."""
+    return {
+        src: {dst: int(matrix[i][j]) for j, dst in enumerate(names)}
+        for i, src in enumerate(names)
+    }

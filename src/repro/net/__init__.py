@@ -1,6 +1,12 @@
-"""Communication extension: star topology and transfer-delay model."""
+"""Communication extension: star/inter-cluster topologies and transfer delays."""
 
-from .topology import Link, StarTopology
+from .topology import InterClusterTopology, Link, StarTopology
 from .transfer import output_return_delay, transfer_delay
 
-__all__ = ["Link", "StarTopology", "transfer_delay", "output_return_delay"]
+__all__ = [
+    "Link",
+    "StarTopology",
+    "InterClusterTopology",
+    "transfer_delay",
+    "output_return_delay",
+]

@@ -1,20 +1,26 @@
-"""Star topology description for the communication extension.
+"""Network topology descriptions for the communication extensions.
 
 E2C's architecture (Fig. 1) is a star: one scheduler node fanning out to all
 machines. :class:`StarTopology` is the declarative description — per
 machine-type link latency and bandwidth — that plugs into
 :meth:`repro.core.config.Scenario` (its ``network`` field) and feeds
 :func:`repro.net.transfer.transfer_delay`.
+
+The federation layer (:mod:`repro.federation`) generalises the star into
+:class:`InterClusterTopology`: per cluster-*pair* WAN links, so offloading a
+task from its origin cluster to a remote one pays a transfer delay before the
+remote cluster's local policy even sees it. A star is the special case where
+every pair routes through one hub (:meth:`InterClusterTopology.from_star`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Iterable, Mapping
 
 from ..core.errors import ConfigurationError
 
-__all__ = ["Link", "StarTopology"]
+__all__ = ["Link", "StarTopology", "InterClusterTopology"]
 
 
 @dataclass(frozen=True)
@@ -55,8 +61,36 @@ class StarTopology:
         self.links[machine_type_name] = Link(latency, bandwidth)
         return self
 
-    def as_scenario_network(self) -> dict[str, tuple[float, float]]:
-        """The ``network=`` mapping a Scenario expects."""
+    def as_scenario_network(
+        self, machine_type_names: Iterable[str] | None = None
+    ) -> dict[str, tuple[float, float]]:
+        """The ``network=`` mapping a Scenario expects.
+
+        Pass *machine_type_names* (the EET columns) to materialise an entry
+        for **every** machine type, explicit or defaulted — a round-trip
+        through :class:`~repro.core.config.Scenario` only preserves the
+        entries of this mapping, so machine types that silently fell back to
+        ``self.default`` would otherwise come back with a zero link.
+        Without the names, a non-trivial default cannot be exported and this
+        raises instead of silently dropping it.
+        """
+        if machine_type_names is not None:
+            names = list(dict.fromkeys(machine_type_names))
+            out = {
+                name: (link.latency, link.bandwidth)
+                for name, link in self.links.items()
+            }
+            for name in names:
+                link = self.link_for(name)
+                out.setdefault(name, (link.latency, link.bandwidth))
+            return out
+        if self.default.latency > 0 or self.default.bandwidth > 0:
+            raise ConfigurationError(
+                "StarTopology has a non-trivial default link; pass "
+                "machine_type_names to as_scenario_network() so machine "
+                "types without an explicit link keep the default instead "
+                "of dropping to a zero link"
+            )
         return {
             name: (link.latency, link.bandwidth)
             for name, link in self.links.items()
@@ -75,3 +109,125 @@ class StarTopology:
         for name in names:
             topo.set_link(str(name), latency, bandwidth)
         return topo
+
+
+_ZERO_LINK = Link()
+
+
+@dataclass
+class InterClusterTopology:
+    """WAN links between named cluster sites (federation extension).
+
+    ``links`` maps directed ``(src, dst)`` cluster-name pairs to
+    :class:`Link` parameters; with ``symmetric=True`` (the default) a lookup
+    for ``(a, b)`` falls back to ``(b, a)`` before the ``default`` link, so
+    one entry per unordered pair suffices. Intra-cluster traffic
+    (``src == dst``) is always free — the local dispatch never pays a WAN
+    delay.
+    """
+
+    links: dict[tuple[str, str], Link] = field(default_factory=dict)
+    default: Link = field(default_factory=Link)
+    symmetric: bool = True
+
+    def link_between(self, src: str, dst: str) -> Link:
+        """Effective link from cluster *src* to cluster *dst*."""
+        if src == dst:
+            return _ZERO_LINK
+        link = self.links.get((src, dst))
+        if link is None and self.symmetric:
+            link = self.links.get((dst, src))
+        return link if link is not None else self.default
+
+    def set_link(
+        self, src: str, dst: str, latency: float, bandwidth: float = 0.0
+    ) -> "InterClusterTopology":
+        if src == dst:
+            raise ConfigurationError(
+                f"intra-cluster link {src!r}->{dst!r} is implicit and free"
+            )
+        self.links[(src, dst)] = Link(latency, bandwidth)
+        return self
+
+    def wan_delay(self, src: str, dst: str, megabytes: float) -> float:
+        """Transfer time of a payload offloaded from *src* to *dst*."""
+        if src == dst:
+            return 0.0
+        return self.link_between(src, dst).delay_for(megabytes)
+
+    @classmethod
+    def uniform(
+        cls,
+        cluster_names: Iterable[str],
+        latency: float,
+        bandwidth: float = 0.0,
+    ) -> "InterClusterTopology":
+        """Same WAN characteristics between every pair of clusters.
+
+        Expressed purely through the ``default`` link — ``link_between``
+        already falls back to it for every pair, so no per-pair entries are
+        materialised (or serialised). ``cluster_names`` is accepted for
+        symmetry with :meth:`StarTopology.uniform` but only documents intent.
+        """
+        return cls(default=Link(latency, bandwidth))
+
+    @classmethod
+    def from_star(
+        cls, star: StarTopology, cluster_names: Iterable[str], hub: str
+    ) -> "InterClusterTopology":
+        """Lift a scheduler-centric star into a cluster-pair topology.
+
+        Every cluster keeps the link it had toward the star hub; traffic
+        between two non-hub clusters pays both spoke links in sequence,
+        approximated here as the sum of latencies over the minimum
+        bandwidth (the bottleneck spoke).
+        """
+        names = [str(n) for n in cluster_names]
+        topo = cls(default=star.default)
+        for name in names:
+            if name == hub:
+                continue
+            spoke = star.link_for(name)
+            topo.set_link(hub, name, spoke.latency, spoke.bandwidth)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                if hub in (a, b):
+                    continue
+                la, lb = star.link_for(a), star.link_for(b)
+                bandwidths = [x for x in (la.bandwidth, lb.bandwidth) if x > 0]
+                topo.set_link(
+                    a,
+                    b,
+                    la.latency + lb.latency,
+                    min(bandwidths) if bandwidths else 0.0,
+                )
+        return topo
+
+    # -- JSON round-trip ----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "links": {
+                f"{src}->{dst}": [link.latency, link.bandwidth]
+                for (src, dst), link in sorted(self.links.items())
+            },
+            "default": [self.default.latency, self.default.bandwidth],
+            "symmetric": self.symmetric,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InterClusterTopology":
+        links: dict[tuple[str, str], Link] = {}
+        for key, value in dict(data.get("links", {})).items():
+            src, sep, dst = str(key).partition("->")
+            if not sep or not src or not dst:
+                raise ConfigurationError(
+                    f"inter-cluster link key must be 'src->dst', got {key!r}"
+                )
+            links[(src, dst)] = Link(float(value[0]), float(value[1]))
+        default = data.get("default", [0.0, 0.0])
+        return cls(
+            links=links,
+            default=Link(float(default[0]), float(default[1])),
+            symmetric=bool(data.get("symmetric", True)),
+        )

@@ -10,6 +10,7 @@ and the ``e2c-sim scenarios`` / ``e2c-sim sweep`` subcommands:
 * :func:`available_scenarios` — sorted names of all registered presets.
 """
 
+from .federated import edge_cloud, fed_heavytail, geo_3site
 from .presets import classroom_homogeneous, edge_ai, satellite_imaging
 from .registry import (
     available_scenarios,
@@ -26,6 +27,9 @@ __all__ = [
     "scale_campus",
     "scale_datacenter",
     "scale_heavytail",
+    "edge_cloud",
+    "geo_3site",
+    "fed_heavytail",
     "register_scenario",
     "scenario_factory",
     "build_scenario",

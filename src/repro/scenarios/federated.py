@@ -1,0 +1,273 @@
+"""Federated scenario presets — multi-cluster systems with WAN offloading.
+
+The paper's Fig. 1 is one scheduler over one machine pool; its future work
+names "various communication paradigms" and larger heterogeneous
+deployments. These presets exercise the federation layer
+(:mod:`repro.federation`) on the three canonical multi-site shapes of the
+heterogeneous-computing literature:
+
+* :func:`edge_cloud` — the 2-site offloading classic: a small, battery-class
+  edge cluster where all tasks arrive, and a remote cloud with far faster
+  machines across a WAN link. The gateway decides keep-vs-offload per task.
+* :func:`geo_3site` — three geo-distributed sites with asymmetric WAN
+  latencies and their own machine mixes; arrivals split across all sites.
+* :func:`fed_heavytail` — two sites under heavy-tailed (Pareto-II)
+  flash-crowd arrivals: bursts overwhelm the origin site and the gateway's
+  spill decisions dominate the outcome.
+
+All factories accept ``scheduler`` (the local, per-cluster policy),
+``gateway`` (the inter-cluster offloading policy), ``intensity``,
+``duration`` and ``seed`` so campaign grids can sweep offloading x local
+policy combinations like any other preset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import Scenario
+from ..federation.spec import ClusterSpec, FederationSpec
+from ..machines.eet import EETMatrix
+from ..machines.eet_generation import generate_eet_cvb
+from ..machines.power import PowerProfile
+from ..net.topology import InterClusterTopology
+from ..tasks.task_type import TaskType
+from .registry import register_scenario
+
+__all__ = ["edge_cloud", "geo_3site", "fed_heavytail"]
+
+
+@register_scenario
+def edge_cloud(
+    *,
+    scheduler: str = "MECT",
+    gateway: str = "EET_AWARE_REMOTE",
+    gateway_params: dict | None = None,
+    intensity: str | float = "medium",
+    duration: float = 400.0,
+    seed: int = 19,
+    wan_latency: float = 0.08,
+    wan_bandwidth: float = 25.0,
+) -> Scenario:
+    """Edge-cloud offloading: 4 edge CPUs vs a 6-machine cloud over a WAN.
+
+    Every task arrives at the edge; the gateway chooses between the local,
+    slow-but-free edge CPUs and the fast cloud machines that cost a WAN
+    round of ``wan_latency + data_in / wan_bandwidth`` seconds. Video
+    analytics (8 MB payloads) and model updates (20 MB) make that trade-off
+    non-trivial, sensor fusion (0.5 MB) is cheap to ship but also cheap to
+    run locally.
+    """
+    task_types = [
+        TaskType("video_analytics", 0, data_in=8.0),
+        TaskType("sensor_fusion", 1, data_in=0.5),
+        TaskType("model_update", 2, data_in=20.0),
+    ]
+    eet = EETMatrix(
+        np.array(
+            [
+                # edge_cpu  cloud_cpu  cloud_gpu
+                [25.0, 8.0, 2.5],    # video analytics
+                [6.0, 3.0, 2.0],     # sensor fusion
+                [40.0, 12.0, 4.0],   # model update
+            ]
+        ),
+        task_types,
+        ["edge_cpu", "cloud_cpu", "cloud_gpu"],
+    )
+    federation = FederationSpec(
+        clusters=[
+            ClusterSpec(
+                name="edge",
+                machine_counts={"edge_cpu": 4},
+                weight=1.0,
+            ),
+            ClusterSpec(
+                name="cloud",
+                machine_counts={"cloud_cpu": 4, "cloud_gpu": 2},
+                weight=0.0,  # tasks never *arrive* here; offloading only
+            ),
+        ],
+        gateway=gateway,
+        gateway_params=dict(gateway_params or {}),
+        topology=InterClusterTopology.uniform(
+            ["edge", "cloud"], latency=wan_latency, bandwidth=wan_bandwidth
+        ),
+    )
+    return Scenario(
+        eet=eet,
+        machine_counts={"edge_cpu": 4, "cloud_cpu": 4, "cloud_gpu": 2},
+        scheduler=scheduler,
+        generator={
+            "duration": duration,
+            "intensity": intensity,
+            "specs": [
+                {"name": "video_analytics", "share": 1.0, "slack_factor": 4.0},
+                {"name": "sensor_fusion", "share": 2.0, "slack_factor": 5.0},
+                {"name": "model_update", "share": 0.5, "slack_factor": 6.0},
+            ],
+        },
+        power_profiles={
+            "edge_cpu": PowerProfile(idle_watts=3.0, busy_watts=9.0),
+            "cloud_cpu": PowerProfile(idle_watts=40.0, busy_watts=120.0),
+            "cloud_gpu": PowerProfile(idle_watts=35.0, busy_watts=260.0),
+        },
+        federation=federation,
+        seed=seed,
+        name="edge_cloud",
+    )
+
+
+@register_scenario
+def geo_3site(
+    *,
+    scheduler: str = "MECT",
+    gateway: str = "LEAST_LOADED",
+    gateway_params: dict | None = None,
+    intensity: str | float = "medium",
+    duration: float = 600.0,
+    seed: int = 23,
+) -> Scenario:
+    """Three geo-distributed sites with asymmetric WAN latencies.
+
+    Six CVB-generated machine types are split two per site (a big/little
+    pair each); arrivals originate at all three sites in a 3:2:1 ratio.
+    The WAN triangle is asymmetric — the long haul costs 3x the short hop —
+    so pure load balancing and locality make measurably different choices.
+    """
+    eet = generate_eet_cvb(
+        5,
+        6,
+        mean_task=14.0,
+        v_task=0.4,
+        v_machine=0.6,
+        seed=29,
+        machine_type_names=[
+            "ams_big", "ams_little",
+            "nyc_big", "nyc_little",
+            "tyo_big", "tyo_little",
+        ],
+    )
+    topology = InterClusterTopology()
+    topology.set_link("ams", "nyc", 0.04, 60.0)
+    topology.set_link("nyc", "tyo", 0.09, 40.0)
+    topology.set_link("ams", "tyo", 0.12, 40.0)
+    federation = FederationSpec(
+        clusters=[
+            ClusterSpec(
+                name="ams",
+                machine_counts={"ams_big": 2, "ams_little": 4},
+                weight=3.0,
+            ),
+            ClusterSpec(
+                name="nyc",
+                machine_counts={"nyc_big": 2, "nyc_little": 4},
+                weight=2.0,
+            ),
+            ClusterSpec(
+                name="tyo",
+                machine_counts={"tyo_big": 2, "tyo_little": 4},
+                weight=1.0,
+            ),
+        ],
+        gateway=gateway,
+        gateway_params=dict(gateway_params or {}),
+        topology=topology,
+    )
+    return Scenario(
+        eet=eet,
+        machine_counts={n: (2 if n.endswith("big") else 4) for n in eet.machine_type_names},
+        scheduler=scheduler,
+        generator={"duration": duration, "intensity": intensity},
+        federation=federation,
+        seed=seed,
+        name="geo_3site",
+    )
+
+
+@register_scenario
+def fed_heavytail(
+    *,
+    scheduler: str = "MECT",
+    gateway: str = "LOCALITY_FIRST",
+    gateway_params: dict | None = None,
+    intensity: str | float = 1.5,
+    duration: float = 900.0,
+    seed: int = 31,
+    shape: float = 1.6,
+    machines_per_type: int = 6,
+) -> Scenario:
+    """Two sites under heavy-tailed (Pareto-II) flash-crowd arrivals.
+
+    The access site takes 70% of arrivals on a quarter of the machines; the
+    core site holds the rest behind a 60 ms WAN hop. Lomax inter-arrivals
+    (tail index ``shape``; infinite variance for ``shape <= 2``) produce
+    long silences punctuated by bursts that saturate the access site — the
+    regime where the gateway's spill threshold decides the outcome.
+    """
+    n_task_types = 4
+    n_machine_types = 4
+    eet = generate_eet_cvb(
+        n_task_types,
+        n_machine_types,
+        mean_task=12.0,
+        v_task=0.4,
+        v_machine=0.5,
+        seed=37,
+        machine_type_names=["access_cpu", "core_a", "core_b", "core_c"],
+    )
+    from ..tasks.generator import WorkloadGenerator, oversubscription_for_level
+
+    # Calibrate per-type rates exactly like the Poisson generator, then
+    # express each as a Pareto process with the same mean rate (the
+    # scale_heavytail recipe, federated).
+    ratio = oversubscription_for_level(intensity)
+    calibrator = WorkloadGenerator(
+        eet, machine_counts=[machines_per_type] * n_machine_types
+    )
+    rates = calibrator.rates_for_oversubscription(ratio)
+    specs = [
+        {
+            "name": name,
+            "arrival": {
+                "kind": "pareto",
+                "shape": shape,
+                "scale": (shape - 1.0) / rate,
+            },
+            "slack_factor": 5.0,
+        }
+        for name, rate in rates.items()
+    ]
+    gparams = dict(gateway_params or {})
+    federation = FederationSpec(
+        clusters=[
+            ClusterSpec(
+                name="access",
+                machine_counts={"access_cpu": machines_per_type},
+                weight=0.7,
+            ),
+            ClusterSpec(
+                name="core",
+                machine_counts={
+                    "core_a": machines_per_type,
+                    "core_b": machines_per_type,
+                    "core_c": machines_per_type,
+                },
+                weight=0.3,
+            ),
+        ],
+        gateway=gateway,
+        gateway_params=gparams,
+        topology=InterClusterTopology.uniform(
+            ["access", "core"], latency=0.06, bandwidth=0.0
+        ),
+    )
+    return Scenario(
+        eet=eet,
+        machine_counts={n: machines_per_type for n in eet.machine_type_names},
+        scheduler=scheduler,
+        generator={"duration": duration, "specs": specs},
+        federation=federation,
+        seed=seed,
+        name="fed_heavytail",
+    )

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..core.config import Scenario
 from ..machines.eet import EETMatrix
+from ..machines.failures import FailureModel
 from ..machines.power import PowerProfile
 from ..tasks.task_type import TaskType
 from .registry import register_scenario
@@ -37,12 +38,16 @@ def satellite_imaging(
     intensity: str | float = "medium",
     duration: float = 600.0,
     seed: int = 7,
+    mtbf: float | None = None,
+    mttr: float = 30.0,
 ) -> Scenario:
     """Satellite image-processing pipeline on a CPU/GPU/FPGA cluster.
 
     EETs encode the usual affinities: object detection is far faster on the
     GPU, noise removal vectorises well on the FPGA, enhancement is mildly
-    GPU-friendly. Machine counts: 2 CPUs, 1 GPU, 1 FPGA.
+    GPU-friendly. Machine counts: 2 CPUs, 1 GPU, 1 FPGA. Pass ``mtbf`` (and
+    optionally ``mttr``) to enable the failure-injection extension —
+    exponential crash/repair cycles on every machine.
     """
     task_types = [
         TaskType("object_detection", 0),
@@ -80,6 +85,9 @@ def satellite_imaging(
             "GPU": PowerProfile(idle_watts=30.0, busy_watts=250.0),
             "FPGA": PowerProfile(idle_watts=10.0, busy_watts=40.0),
         },
+        failure_model=(
+            None if mtbf is None else FailureModel(mtbf=mtbf, mttr=mttr)
+        ),
         seed=seed,
         name="satellite_imaging",
     )

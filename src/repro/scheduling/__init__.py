@@ -5,6 +5,7 @@ Importing this package registers every built-in policy, so
 """
 
 from . import batch, immediate  # noqa: F401  (import for registration side effect)
+from . import federation  # noqa: F401  (import for gateway registration side effect)
 from .base import (
     Assignment,
     BatchScheduler,
@@ -14,6 +15,13 @@ from .base import (
 )
 from .context import LiveTypeStats, SchedulingContext
 from .overhead import SchedulingOverhead
+from .federation import (
+    GatewayContext,
+    GatewayPolicy,
+    available_gateways,
+    create_gateway,
+    register_gateway,
+)
 from .registry import (
     available_schedulers,
     create_scheduler,
@@ -34,4 +42,9 @@ __all__ = [
     "create_scheduler",
     "scheduler_class",
     "available_schedulers",
+    "GatewayPolicy",
+    "GatewayContext",
+    "register_gateway",
+    "create_gateway",
+    "available_gateways",
 ]

@@ -1,0 +1,37 @@
+"""Gateway (inter-cluster offloading) policy family for federated runs.
+
+Mirrors the local-policy plug-in surface: a base class
+(:class:`GatewayPolicy`), a registry (:func:`register_gateway` /
+:func:`create_gateway` / :func:`available_gateways`) and four stock
+disciplines — locality-first, least-loaded, EET-aware-remote and
+random-split.
+"""
+
+from .base import GatewayContext, GatewayPolicy, ShardView, shard_pressure
+from .policies import (
+    EETAwareRemoteGateway,
+    LeastLoadedGateway,
+    LocalityFirstGateway,
+    RandomSplitGateway,
+)
+from .registry import (
+    available_gateways,
+    create_gateway,
+    gateway_class,
+    register_gateway,
+)
+
+__all__ = [
+    "GatewayContext",
+    "GatewayPolicy",
+    "ShardView",
+    "shard_pressure",
+    "LocalityFirstGateway",
+    "LeastLoadedGateway",
+    "EETAwareRemoteGateway",
+    "RandomSplitGateway",
+    "register_gateway",
+    "create_gateway",
+    "available_gateways",
+    "gateway_class",
+]

@@ -1,0 +1,141 @@
+"""Gateway (inter-cluster offloading) policy framework.
+
+A federated simulation (:mod:`repro.federation`) runs two decision layers:
+the *gateway* decides **which cluster** receives each arriving task, then the
+cluster's local scheduling policy decides **which machine** runs it. This
+module is the gateway half: the read-only view a gateway policy receives
+(:class:`GatewayContext`), the shard surface it may consult
+(:class:`ShardView`), and the :class:`GatewayPolicy` base class every
+offloading policy subclasses.
+
+Gateway decisions are *routing* decisions — the policy returns a cluster
+index and must not mutate tasks or shards. Offloaded tasks pay the WAN
+transfer delay of :class:`repro.net.topology.InterClusterTopology` before
+entering the destination cluster's batch queue.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...machines.cluster import Cluster
+    from ...net.topology import InterClusterTopology
+    from ...tasks.task import Task
+
+__all__ = ["ShardView", "GatewayContext", "GatewayPolicy", "shard_pressure"]
+
+
+@runtime_checkable
+class ShardView(Protocol):
+    """What a gateway policy may read about one cluster shard.
+
+    :class:`repro.federation.shard.ClusterShard` satisfies this protocol
+    structurally; tests can substitute a lightweight stub.
+    """
+
+    @property
+    def index(self) -> int:
+        """Position of the shard in the federation (the routing target)."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def name(self) -> str:
+        """Cluster name (the topology's node label)."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def weight(self) -> float:
+        """Configured arrival/traffic weight of the cluster."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def cluster(self) -> "Cluster":
+        """The machine population (ready times, EETs, idle index)."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def in_system(self) -> int:
+        """Tasks routed to this shard that have not reached a terminal state.
+
+        Counts WAN in-transit, batch-queued, machine-queued and running
+        tasks — the shard's total outstanding load, maintained in O(1).
+        """
+        ...  # pragma: no cover - protocol
+
+
+def shard_pressure(shard: ShardView) -> float:
+    """Outstanding tasks per live machine (``inf`` when the shard is dark).
+
+    The load signal the stock gateway policies share: cheap (O(1)),
+    monotone in backlog, and comparable across clusters of different sizes.
+    """
+    state = shard.cluster.state
+    alive = len(shard.cluster.machines) - state.n_down
+    if alive <= 0:
+        return float("inf")
+    return shard.in_system / alive
+
+
+@dataclass
+class GatewayContext:
+    """Everything a gateway policy may consult for one routing decision.
+
+    The federation reuses one context object across decisions (``now``,
+    ``task`` and ``origin`` are updated in place), so treat it as a
+    read-only view valid only for the duration of the current
+    ``choose_cluster`` call.
+
+    Attributes
+    ----------
+    now:
+        Current simulation time.
+    task:
+        The arriving task (still CREATED; not yet in any queue).
+    origin:
+        Index of the shard the task arrived at.
+    shards:
+        All cluster shards, in federation order.
+    topology:
+        Inter-cluster WAN links (``wan_delay(src, dst, megabytes)``).
+    rng:
+        Seeded generator for stochastic gateways (random-split).
+    """
+
+    now: float
+    task: "Task"
+    origin: int
+    shards: Sequence[ShardView]
+    topology: "InterClusterTopology"
+    rng: np.random.Generator
+
+    def wan_delay_to(self, destination: int) -> float:
+        """Transfer delay of the current task from its origin to *destination*."""
+        return self.topology.wan_delay(
+            self.shards[self.origin].name,
+            self.shards[destination].name,
+            self.task.task_type.data_in,
+        )
+
+
+class GatewayPolicy(abc.ABC):
+    """Common interface of every inter-cluster offloading policy."""
+
+    #: Registry name (e.g. "LEAST_LOADED"); set by subclasses.
+    name: ClassVar[str] = ""
+    #: Short human-readable description for the CLI / docs.
+    description: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def choose_cluster(self, ctx: GatewayContext) -> int:
+        """Return the index of the shard that should receive ``ctx.task``."""
+
+    def reset(self) -> None:
+        """Clear any internal state (between simulation runs)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

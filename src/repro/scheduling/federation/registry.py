@@ -1,0 +1,103 @@
+"""Gateway-policy registry — the federation twin of the scheduler registry.
+
+Local scheduling policies plug in by name (:mod:`repro.scheduling.registry`);
+gateway (inter-cluster offloading) policies get the identical treatment so a
+:class:`~repro.federation.spec.FederationSpec` can reference them from JSON
+and campaigns can sweep offloading × local-policy grids. Names are matched
+case-insensitively and ``-``/``_`` interchangeably, so the CLI accepts
+``least-loaded`` for ``LEAST_LOADED``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Type
+
+from ...core.errors import ConfigurationError, UnknownGatewayError
+from .base import GatewayPolicy
+
+__all__ = [
+    "register_gateway",
+    "create_gateway",
+    "available_gateways",
+    "gateway_class",
+]
+
+_REGISTRY: dict[str, Type[GatewayPolicy]] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def _canonical(name: str) -> str:
+    return name.upper().replace("-", "_")
+
+
+def register_gateway(
+    cls: Type[GatewayPolicy] | None = None, *, aliases: Iterable[str] = ()
+) -> Any:
+    """Class decorator adding a GatewayPolicy to the registry.
+
+    Usage::
+
+        @register_gateway(aliases=("LL",))
+        class LeastLoadedGateway(GatewayPolicy):
+            name = "LEAST_LOADED"
+            ...
+    """
+
+    def apply(klass: Type[GatewayPolicy]) -> Type[GatewayPolicy]:
+        if not klass.name:
+            raise ConfigurationError(
+                f"{klass.__name__} must define a non-empty 'name'"
+            )
+        key = _canonical(klass.name)
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not klass:
+            raise ConfigurationError(
+                f"gateway name {klass.name!r} already registered to "
+                f"{existing.__name__}"
+            )
+        _REGISTRY[key] = klass
+        for alias in aliases:
+            alias_key = _canonical(alias)
+            if alias_key in _REGISTRY:
+                raise ConfigurationError(
+                    f"alias {alias!r} collides with a registered gateway name"
+                )
+            owner = _ALIASES.get(alias_key)
+            if owner is not None and owner != key:
+                raise ConfigurationError(
+                    f"alias {alias!r} already points to {owner}"
+                )
+            _ALIASES[alias_key] = key
+        return klass
+
+    if cls is not None:  # bare decorator form
+        return apply(cls)
+    return apply
+
+
+def gateway_class(name: str) -> Type[GatewayPolicy]:
+    """Resolve a gateway-policy class by name or alias (case-insensitive)."""
+    key = _canonical(name)
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise UnknownGatewayError(
+            f"unknown gateway policy {name!r}; available: {available_gateways()}"
+        ) from None
+
+
+def create_gateway(name: str, **kwargs: Any) -> GatewayPolicy:
+    """Instantiate a gateway policy by registry name with policy kwargs."""
+    klass = gateway_class(name)
+    try:
+        return klass(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for gateway policy {name!r}: {exc}"
+        ) from exc
+
+
+def available_gateways() -> list[str]:
+    """Sorted names of every registered gateway policy."""
+    return sorted(_REGISTRY)

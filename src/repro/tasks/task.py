@@ -90,6 +90,8 @@ class Task:
     energy: float | None = None            # Joules attributed to this task
     available_at: float | None = None      # delivery time under the network model
     retries: int = 0                       # times requeued after machine failures
+    origin_cluster: int | None = None      # federation: shard the task arrived at
+    cluster: int | None = None             # federation: shard currently owning it
 
     def __post_init__(self) -> None:
         if self.id < 0:

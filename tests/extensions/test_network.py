@@ -54,6 +54,52 @@ class TestTopology:
         topo = StarTopology().set_link("A", 0.1, 50.0)
         assert topo.as_scenario_network() == {"A": (0.1, 50.0)}
 
+    def test_as_scenario_network_exports_default_for_named_types(self):
+        """Regression: the default link used to be silently dropped.
+
+        A machine type without an explicit link fell back to ``default``
+        in-process, but ``as_scenario_network()`` omitted it — after a
+        round-trip through Scenario the type got a zero link instead.
+        """
+        topo = StarTopology(default=Link(0.25, 10.0)).set_link("GPU", 0.1, 50.0)
+        network = topo.as_scenario_network(["CPU", "GPU", "FPGA"])
+        assert network == {
+            "CPU": (0.25, 10.0),
+            "GPU": (0.1, 50.0),
+            "FPGA": (0.25, 10.0),
+        }
+
+    def test_as_scenario_network_nontrivial_default_requires_names(self):
+        from repro.core.errors import ConfigurationError
+
+        topo = StarTopology(default=Link(0.25, 10.0)).set_link("GPU", 0.1)
+        with pytest.raises(ConfigurationError):
+            topo.as_scenario_network()
+
+    def test_default_link_survives_scenario_round_trip(self):
+        import numpy as np
+
+        from repro.core.config import Scenario
+        from repro.machines.eet import EETMatrix
+
+        eet = EETMatrix(
+            np.array([[4.0, 2.0]]), ["T"], ["CPU", "GPU"]
+        )
+        topo = StarTopology(default=Link(0.25, 10.0)).set_link("GPU", 0.1, 50.0)
+        scenario = Scenario(
+            eet=eet,
+            machine_counts={"CPU": 1, "GPU": 1},
+            scheduler="MECT",
+            generator={"duration": 10.0},
+            network=topo.as_scenario_network(eet.machine_type_names),
+            enable_network=True,
+        )
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        cluster = rebuilt.build_cluster()
+        cpu = next(m for m in cluster if m.machine_type.name == "CPU")
+        assert cpu.machine_type.network_latency == 0.25
+        assert cpu.machine_type.network_bandwidth == 10.0
+
 
 class TestTransferDelay:
     def test_delay_components(self):

@@ -1,0 +1,236 @@
+"""FederatedSimulator semantics: routing, WAN delays, conservation, determinism."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import Scenario
+from repro.federation import ClusterSpec, FederationSpec
+from repro.machines.eet import EETMatrix
+from repro.machines.failures import FailureModel
+from repro.net import InterClusterTopology
+from repro.scenarios import build_scenario
+from repro.tasks.task import Task
+from repro.tasks.task_type import TaskType
+from repro.tasks.workload import Workload
+
+
+def offload_scenario(*, tasks, gateway="EET_AWARE_REMOTE", latency=1.0,
+                     bandwidth=0.0, scheduler="MECT", **scenario_kwargs):
+    """1 edge SLOW machine + 1 cloud FAST machine, explicit workload."""
+    task_types = [TaskType("T1", 0, data_in=0.0)]
+    eet = EETMatrix(np.array([[4.0, 2.0]]), task_types, ["SLOW", "FAST"])
+    workload = Workload(
+        task_types=task_types,
+        tasks=[
+            Task(
+                id=i,
+                task_type=task_types[0],
+                arrival_time=arrival,
+                deadline=deadline,
+            )
+            for i, (arrival, deadline) in enumerate(tasks)
+        ],
+    )
+    topo = InterClusterTopology()
+    topo.set_link("edge", "cloud", latency, bandwidth)
+    federation = FederationSpec(
+        clusters=[
+            ClusterSpec(name="edge", machine_counts={"SLOW": 1}, weight=1.0),
+            ClusterSpec(name="cloud", machine_counts={"FAST": 1}, weight=0.0),
+        ],
+        gateway=gateway,
+        topology=topo,
+    )
+    return Scenario(
+        eet=eet,
+        machine_counts={"SLOW": 1, "FAST": 1},
+        scheduler=scheduler,
+        workload=workload,
+        federation=federation,
+        seed=3,
+        name="offload-test",
+        **scenario_kwargs,
+    )
+
+
+class TestSingleClusterEquivalence:
+    def test_one_cluster_federation_matches_standalone(self):
+        base = build_scenario("satellite_imaging", scheduler="MECT", seed=41)
+        federation = FederationSpec(
+            clusters=[
+                ClusterSpec(
+                    name="all",
+                    machine_counts=dict(base.machine_counts),
+                    weight=1.0,
+                )
+            ],
+            gateway="LOCALITY_FIRST",
+        )
+        federated = dataclasses.replace(base, federation=federation)
+        single = base.run()
+        multi = federated.run()
+        assert multi.summary == single.summary
+        assert multi.end_time == single.end_time
+        assert multi.per_cluster["all"] == single.summary
+        assert multi.offloaded == 0
+
+
+class TestWanTransfer:
+    def test_offloaded_task_pays_the_wan_delay(self):
+        result = offload_scenario(tasks=[(0.0, 100.0)]).run()
+        # EET_AWARE_REMOTE: 1.0 (WAN) + 2.0 (FAST) < 4.0 (SLOW) -> offload.
+        assert result.offloaded == 1
+        assert result.routing == {
+            "edge": {"edge": 0, "cloud": 1},
+            "cloud": {"edge": 0, "cloud": 0},
+        }
+        assert result.summary.makespan == pytest.approx(3.0)
+        assert result.wan_time_total == pytest.approx(1.0)
+        assert result.per_cluster["cloud"].completed == 1
+        assert result.per_cluster["edge"].total_tasks == 0
+
+    def test_expensive_wan_keeps_the_task_local(self):
+        result = offload_scenario(tasks=[(0.0, 100.0)], latency=3.0).run()
+        assert result.offloaded == 0
+        assert result.summary.makespan == pytest.approx(4.0)
+        assert result.wan_time_total == 0.0
+
+    def test_deadline_in_transit_cancels_the_task(self):
+        result = offload_scenario(tasks=[(0.0, 0.5)]).run()
+        summary = result.summary
+        assert summary.total_tasks == 1
+        assert summary.cancelled == 1
+        assert summary.completed == 0
+        # Accounted to the destination cluster it was travelling toward.
+        assert result.per_cluster["cloud"].cancelled == 1
+        # The abandoned delivery never fires: the run ends at the deadline.
+        assert result.end_time == pytest.approx(0.5)
+
+    def test_zero_latency_offload_is_immediate(self):
+        result = offload_scenario(tasks=[(0.0, 100.0)], latency=0.0).run()
+        assert result.offloaded == 1
+        assert result.summary.makespan == pytest.approx(2.0)
+        assert result.wan_time_total == 0.0
+
+
+class TestConservationAndAccounting:
+    def test_per_cluster_and_global_conservation(self):
+        result = build_scenario("fed_heavytail", duration=250.0).run()
+        total = result.summary.total_tasks
+        assert total > 0
+        arrivals = result.arrivals_by_cluster()
+        per_cluster_total = 0
+        for name, summary in result.per_cluster.items():
+            assert summary.total_tasks == arrivals[name]
+            assert (
+                summary.completed + summary.cancelled + summary.missed
+                == summary.total_tasks
+            )
+            per_cluster_total += summary.total_tasks
+        assert per_cluster_total == total
+        assert (
+            result.summary.completed
+            + result.summary.cancelled
+            + result.summary.missed
+            == total
+        )
+        assert sum(result.origins_by_cluster().values()) == total
+
+    def test_conservation_with_failures(self):
+        scenario = build_scenario("edge_cloud", duration=150.0)
+        scenario = dataclasses.replace(
+            scenario, failure_model=FailureModel(mtbf=60.0, mttr=10.0)
+        )
+        result = scenario.run()
+        summary = result.summary
+        assert summary.total_tasks > 0
+        assert (
+            summary.completed + summary.cancelled + summary.missed
+            == summary.total_tasks
+        )
+        for name, cluster_summary in result.per_cluster.items():
+            assert (
+                cluster_summary.completed
+                + cluster_summary.cancelled
+                + cluster_summary.missed
+                == cluster_summary.total_tasks
+            )
+
+
+class TestDeterminism:
+    def test_back_to_back_runs_identical(self):
+        scenario = build_scenario("edge_cloud", duration=150.0)
+        first = scenario.run()
+        second = scenario.run()
+        assert first.summary == second.summary
+        assert first.routing == second.routing
+        assert first.events_processed == second.events_processed
+
+    def test_origins_invariant_across_gateway_sweeps(self):
+        least = build_scenario(
+            "geo_3site", gateway="LEAST_LOADED", duration=150.0
+        ).run()
+        eet_aware = build_scenario(
+            "geo_3site", gateway="EET_AWARE_REMOTE", duration=150.0
+        ).run()
+        assert least.origins_by_cluster() == eet_aware.origins_by_cluster()
+
+
+class TestResultSurface:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_scenario("edge_cloud", duration=120.0).run()
+
+    def test_machine_names_are_cluster_qualified(self, result):
+        names = [row["machine"] for row in result.machine_records]
+        assert len(names) == len(set(names))
+        assert all(":" in name for name in names)
+        assert {row["cluster"] for row in result.machine_records} == {
+            "edge",
+            "cloud",
+        }
+
+    def test_task_records_sorted_and_tagged(self, result):
+        ids = [row["task_id"] for row in result.task_records]
+        assert ids == sorted(ids)
+        assert all(row["cluster"] in ("edge", "cloud") for row in result.task_records)
+
+    def test_reports_bundle_and_text(self, result, tmp_path):
+        paths = result.reports.save_all(tmp_path)
+        assert len(paths) == 4
+        text = result.to_text()
+        assert "Federation Summary" in text
+        assert "GLOBAL" in text
+        assert "offloaded:" in text
+
+    def test_offload_rate_and_energy(self, result):
+        assert 0.0 <= result.offload_rate <= 1.0
+        assert result.energy.total == pytest.approx(
+            result.summary.total_energy
+        )
+
+    def test_scheduler_and_gateway_names(self, result):
+        assert result.scheduler_name == "MECT"
+        assert result.gateway_name == "EET_AWARE_REMOTE"
+
+
+class TestStepAndPartialRun:
+    def test_step_until_finished(self):
+        simulator = offload_scenario(tasks=[(0.0, 100.0)]).build_simulator()
+        steps = 0
+        while simulator.step() is not None:
+            steps += 1
+        assert simulator.is_finished
+        assert steps == simulator.events_processed
+        assert simulator.result().summary.completed == 1
+
+    def test_run_until_partial(self):
+        scenario = offload_scenario(tasks=[(0.0, 100.0), (0.1, 100.0)])
+        simulator = scenario.build_simulator()
+        partial = simulator.run(until=0.05)
+        assert partial.summary.total_tasks <= 2
+        assert not simulator.is_finished
+        full = simulator.run()
+        assert full.summary.completed == 2

@@ -1,7 +1,7 @@
 """Golden-metrics determinism: pinned SummaryMetrics for preset scenarios.
 
-These tests freeze the *exact* numeric output of two registered presets at
-fixed seeds. Their purpose is to make hot-path refactors falsifiable: any
+These tests freeze the *exact* numeric output of several registered presets
+(two single-cluster, one failure-enabled, one federated) at fixed seeds. Their purpose is to make hot-path refactors falsifiable: any
 change to event ordering, floating-point evaluation order, RNG consumption,
 or metrics aggregation that alters simulation results — however slightly —
 fails here with a precise diff, instead of silently shifting every figure
@@ -73,6 +73,66 @@ GOLDEN_EDGE_AI_FELARE = {
 GOLDEN_EDGE_AI_EVENTS = 848
 GOLDEN_EDGE_AI_END_TIME = 441.0544354507687
 
+#: satellite_imaging with failure injection (mtbf=120, mttr=30), MM, seed 41.
+GOLDEN_SATELLITE_FAULTY_MM_SEED41 = {
+    "total_tasks": 231,
+    "completed": 193,
+    "cancelled": 6,
+    "missed": 32,
+    "completion_rate": 0.8354978354978355,
+    "cancellation_rate": 0.025974025974025976,
+    "miss_rate": 0.13852813852813853,
+    "on_time": 193,
+    "on_time_rate": 0.8354978354978355,
+    "makespan": 644.5914613599795,
+    "total_energy": 256531.6083688552,
+    "idle_energy": 46158.528375626185,
+    "busy_energy": 210373.079993229,
+    "energy_per_completed_task": 1329.1793179733431,
+    "mean_wait_time": 19.683964253806074,
+    "mean_response_time": 24.811845502105722,
+    "throughput": 0.1764056053472596,
+    "mean_utilization": 0.394516191432152,
+    "fairness_index": 0.9957049129218317,
+    "completion_rate[image_enhancement]": 0.8947368421052632,
+    "completion_rate[noise_removal]": 0.8230088495575221,
+    "completion_rate[object_detection]": 0.7619047619047619,
+}
+GOLDEN_SATELLITE_FAULTY_EVENTS = 703
+GOLDEN_SATELLITE_FAULTY_END_TIME = 1094.0695428587649
+
+#: edge_cloud federated preset under its stock EET_AWARE_REMOTE gateway.
+GOLDEN_EDGE_CLOUD_GLOBAL = {
+    "total_tasks": 699,
+    "completed": 699,
+    "cancelled": 0,
+    "missed": 0,
+    "completion_rate": 1.0,
+    "cancellation_rate": 0.0,
+    "miss_rate": 0.0,
+    "on_time": 699,
+    "on_time_rate": 1.0,
+    "makespan": 409.1590699643162,
+    "total_energy": 417580.05747537746,
+    "idle_energy": 39718.05747537745,
+    "busy_energy": 377862.0,
+    "energy_per_completed_task": 597.3963626257188,
+    "mean_wait_time": 2.878807832096141,
+    "mean_response_time": 6.611282796330766,
+    "throughput": 1.3661378549911254,
+    "mean_utilization": 0.5099075341447563,
+    "fairness_index": 1.0,
+    "completion_rate[model_update]": 1.0,
+    "completion_rate[sensor_fusion]": 1.0,
+    "completion_rate[video_analytics]": 1.0,
+}
+GOLDEN_EDGE_CLOUD_EVENTS = 2723
+GOLDEN_EDGE_CLOUD_END_TIME = 511.6613945263531
+GOLDEN_EDGE_CLOUD_ROUTING = {
+    "edge": {"edge": 73, "cloud": 626},
+    "cloud": {"edge": 0, "cloud": 0},
+}
+
 
 def _assert_exact(actual: dict, expected: dict) -> None:
     assert set(actual) == set(expected)
@@ -111,6 +171,78 @@ class TestGoldenEdgeAIFelare:
     def test_event_count_and_end_time_exact(self, result):
         assert result.events_processed == GOLDEN_EDGE_AI_EVENTS
         assert result.end_time == GOLDEN_EDGE_AI_END_TIME
+
+
+class TestGoldenSatelliteFaulty:
+    """Failure injection pinned: exponential crash/repair on every machine."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_scenario(
+            "satellite_imaging", scheduler="MM", seed=41, mtbf=120.0
+        ).run()
+
+    def test_summary_exact(self, result):
+        _assert_exact(
+            result.summary.as_dict(), GOLDEN_SATELLITE_FAULTY_MM_SEED41
+        )
+
+    def test_event_count_and_end_time_exact(self, result):
+        assert result.events_processed == GOLDEN_SATELLITE_FAULTY_EVENTS
+        assert result.end_time == GOLDEN_SATELLITE_FAULTY_END_TIME
+
+
+class TestGoldenEdgeCloudFederated:
+    """Federated preset pinned: gateway routing included."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_scenario("edge_cloud").run()
+
+    def test_summary_exact(self, result):
+        _assert_exact(result.summary.as_dict(), GOLDEN_EDGE_CLOUD_GLOBAL)
+
+    def test_event_count_and_end_time_exact(self, result):
+        assert result.events_processed == GOLDEN_EDGE_CLOUD_EVENTS
+        assert result.end_time == GOLDEN_EDGE_CLOUD_END_TIME
+
+    def test_routing_matrix_exact(self, result):
+        assert result.routing == GOLDEN_EDGE_CLOUD_ROUTING
+        assert result.offloaded == 626
+
+
+class TestConservation:
+    """No task lost or duplicated — per cluster and globally.
+
+    arrivals == completed + cancelled + missed must hold through offloads
+    (WAN in-transit cancellations) and machine failures (requeues).
+    """
+
+    def test_single_cluster_with_failures(self):
+        result = build_scenario(
+            "satellite_imaging", scheduler="MM", seed=41, mtbf=120.0
+        ).run()
+        summary = result.summary
+        assert (
+            summary.completed + summary.cancelled + summary.missed
+            == summary.total_tasks
+        )
+
+    def test_federated_per_cluster_and_global(self):
+        result = build_scenario("edge_cloud").run()
+        arrivals = result.arrivals_by_cluster()
+        for name, summary in result.per_cluster.items():
+            assert (
+                summary.completed + summary.cancelled + summary.missed
+                == summary.total_tasks
+            )
+            assert summary.total_tasks == arrivals[name]
+        total = result.summary
+        assert (
+            total.completed + total.cancelled + total.missed
+            == total.total_tasks
+        )
+        assert sum(arrivals.values()) == total.total_tasks
 
 
 class TestGoldenStability:

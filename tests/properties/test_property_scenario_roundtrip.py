@@ -1,0 +1,185 @@
+"""Property: Scenario.to_dict()/from_dict() is lossless.
+
+Hypothesis-generated scenarios exercise the fields the serialisation layer
+historically under-covered: the ``network`` mapping, the ``failure_model``
+(including per-machine-type overrides) and the federation layer
+(clusters, gateway, inter-cluster topology). The round-trip must preserve
+them exactly — both through plain dicts and through JSON text.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Scenario
+from repro.federation import ClusterSpec, FederationSpec
+from repro.machines.eet import EETMatrix
+from repro.machines.failures import FailureModel
+from repro.net import InterClusterTopology, Link
+from repro.tasks.task_type import TaskType
+
+MACHINE_TYPES = ["M1", "M2", "M3"]
+
+finite_latency = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+finite_bandwidth = st.floats(
+    min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+positive_time = st.floats(
+    min_value=0.1, max_value=10_000.0, allow_nan=False, allow_infinity=False
+)
+
+
+def base_eet() -> EETMatrix:
+    task_types = [
+        TaskType("T1", 0, relative_deadline=40.0, data_in=2.0),
+        TaskType("T2", 1, relative_deadline=60.0, data_out=1.0),
+    ]
+    return EETMatrix(
+        np.array([[4.0, 8.0, 6.0], [9.0, 3.0, 5.0]]),
+        task_types,
+        list(MACHINE_TYPES),
+    )
+
+
+network_strategy = st.dictionaries(
+    st.sampled_from(MACHINE_TYPES),
+    st.tuples(finite_latency, finite_bandwidth),
+    max_size=len(MACHINE_TYPES),
+)
+
+failure_strategy = st.one_of(
+    st.none(),
+    st.builds(
+        FailureModel,
+        mtbf=positive_time,
+        mttr=positive_time,
+        per_machine_type=st.dictionaries(
+            st.sampled_from(MACHINE_TYPES),
+            st.tuples(positive_time, positive_time),
+            max_size=2,
+        ),
+    ),
+)
+
+
+@st.composite
+def federation_strategy(draw):
+    if draw(st.booleans()):
+        return None
+    n_clusters = draw(st.integers(min_value=1, max_value=3))
+    # Partition one machine type per cluster (plus spares on cluster 0) so
+    # total_machine_counts always matches a constructible scenario.
+    clusters = []
+    for i in range(n_clusters):
+        clusters.append(
+            ClusterSpec(
+                name=f"site{i}",
+                machine_counts={MACHINE_TYPES[i]: draw(st.integers(1, 3))},
+                scheduler=draw(st.sampled_from([None, "MECT", "FCFS"])),
+                weight=draw(
+                    st.floats(
+                        min_value=0.0,
+                        max_value=5.0,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    )
+                ),
+            )
+        )
+    if all(c.weight == 0.0 for c in clusters):
+        clusters[0].weight = 1.0
+    topology = InterClusterTopology(
+        default=Link(draw(finite_latency), draw(finite_bandwidth)),
+        symmetric=draw(st.booleans()),
+    )
+    for i in range(n_clusters):
+        for j in range(i + 1, n_clusters):
+            if draw(st.booleans()):
+                topology.set_link(
+                    f"site{i}",
+                    f"site{j}",
+                    draw(finite_latency),
+                    draw(finite_bandwidth),
+                )
+    return FederationSpec(
+        clusters=clusters,
+        gateway=draw(
+            st.sampled_from(
+                ["LOCALITY_FIRST", "LEAST_LOADED", "EET_AWARE_REMOTE"]
+            )
+        ),
+        topology=topology,
+    )
+
+
+def build_scenario_under_test(network, failure_model, federation) -> Scenario:
+    if federation is not None:
+        machine_counts = federation.total_machine_counts()
+    else:
+        machine_counts = {name: 1 for name in MACHINE_TYPES}
+    return Scenario(
+        eet=base_eet(),
+        machine_counts=machine_counts,
+        scheduler="MECT",
+        generator={"duration": 50.0, "intensity": "low"},
+        network=network,
+        enable_network=bool(network),
+        failure_model=failure_model,
+        federation=federation,
+        seed=7,
+        name="roundtrip",
+    )
+
+
+@given(
+    network=network_strategy,
+    failure_model=failure_strategy,
+    federation=federation_strategy(),
+)
+@settings(max_examples=40, deadline=None)
+def test_to_dict_from_dict_is_lossless(network, failure_model, federation):
+    scenario = build_scenario_under_test(network, failure_model, federation)
+    rebuilt = Scenario.from_dict(scenario.to_dict())
+    assert rebuilt.to_dict() == scenario.to_dict()
+    # Field-level checks, not just dict equality:
+    assert rebuilt.network == scenario.network
+    if failure_model is None:
+        assert rebuilt.failure_model is None
+    else:
+        assert rebuilt.failure_model.mtbf == failure_model.mtbf
+        assert rebuilt.failure_model.mttr == failure_model.mttr
+        assert dict(rebuilt.failure_model.per_machine_type) == {
+            k: tuple(v) for k, v in failure_model.per_machine_type.items()
+        }
+    if federation is None:
+        assert rebuilt.federation is None
+    else:
+        assert rebuilt.federation.names == federation.names
+        assert rebuilt.federation.gateway == federation.gateway
+        assert (
+            rebuilt.federation.topology.to_dict()
+            == federation.topology.to_dict()
+        )
+        for original, restored in zip(
+            federation.clusters, rebuilt.federation.clusters
+        ):
+            assert restored == original
+
+
+@given(
+    network=network_strategy,
+    failure_model=failure_strategy,
+    federation=federation_strategy(),
+)
+@settings(max_examples=15, deadline=None)
+def test_json_text_round_trip(network, failure_model, federation):
+    scenario = build_scenario_under_test(network, failure_model, federation)
+    text = scenario.to_json()
+    rebuilt = Scenario.from_json(text)
+    assert rebuilt.to_dict() == scenario.to_dict()
+    # The JSON really is plain JSON (no repr leakage).
+    json.loads(text)

@@ -127,6 +127,55 @@ class TestRun:
         assert "unknown scheduler" in capsys.readouterr().err
 
 
+class TestRunPresets:
+    def test_run_registered_preset_by_name(self, capsys):
+        code = main(
+            ["run", "--scenario", "classroom_homogeneous", "--seed", "1"]
+        )
+        assert code == 0
+        assert "Summary Report" in capsys.readouterr().out
+
+    def test_run_federated_preset_prints_per_cluster_and_global(self, capsys):
+        code = main(["run", "--scenario", "edge_cloud", "--policy", "mect"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Federation Summary" in out
+        assert "edge" in out and "cloud" in out
+        assert "GLOBAL" in out
+        assert "offloaded:" in out
+
+    def test_run_federated_with_gateway_override(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scenario", "edge_cloud",
+                "--gateway", "locality-first",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "LOCALITY_FIRST" in out
+
+    def test_run_federated_task_report(self, capsys):
+        code = main(
+            ["run", "--scenario", "edge_cloud", "--report", "task"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Federation Summary" in out
+        assert "Task Report" in out
+
+    def test_unknown_preset_reports_error(self, capsys):
+        code = main(["run", "--scenario", "not_a_preset"])
+        assert code == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_animate_rejected_for_federated(self, capsys):
+        code = main(["run", "--scenario", "edge_cloud", "--animate"])
+        assert code == 2
+        assert "animate" in capsys.readouterr().err
+
+
 class TestGenerate:
     def test_generate_workload(self, csv_files, tmp_path, capsys):
         eet_path, _ = csv_files
@@ -165,6 +214,14 @@ class TestOtherCommands:
         assert main(["schedulers"]) == 0
         out = capsys.readouterr().out
         assert "MECT" in out and "MM" in out
+        assert "gateway policies" in out
+        assert "LEAST_LOADED" in out
+
+    def test_scenarios_listing_includes_federated_presets(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("edge_cloud", "geo_3site", "fed_heavytail"):
+            assert name in out
 
     def test_schedulers_mode_filter(self, capsys):
         assert main(["schedulers", "--mode", "batch"]) == 0
