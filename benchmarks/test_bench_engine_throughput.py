@@ -116,6 +116,33 @@ def test_bench_federated_throughput(benchmark, results_dir):
     assert events_per_sec > 1000
 
 
+def test_bench_contended_wan_throughput(benchmark, results_dir):
+    """Contended-WAN tier: the fed_congested preset, whose every offload
+    runs the link state machines (FIFO + processor sharing) and per-link
+    energy meters. Guards the WAN-as-queueing-resource overhead: turning
+    the WAN into a simulated resource must not knock the federated engine
+    out of its throughput envelope."""
+    scenario = build_scenario("fed_congested")
+    result = benchmark.pedantic(
+        scenario.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    events_per_sec = result.events_processed / benchmark.stats["mean"]
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    record_result_line(
+        results_dir / "engine_throughput.txt",
+        "contended WAN tier (3 sites, fifo+ps links)",
+        f"{result.events_processed} events, "
+        f"{result.summary.total_tasks} tasks, "
+        f"{result.offload_rate:.0%} offloaded, "
+        f"{events_per_sec:,.0f} events/s",
+    )
+    assert result.summary.total_tasks > 500
+    assert 0.0 < result.offload_rate < 1.0
+    assert sum(u.delivered for u in result.wan_links.values()) > 0
+    assert events_per_sec > 1000
+
+
 def test_bench_scale_tier_throughput(benchmark, results_dir):
     """Scale tier: 96 machines, ~11k tasks — the registered scale_campus
     preset, run once per round (the workload is large enough that a single

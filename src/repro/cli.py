@@ -283,8 +283,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.animate:
         if scenario.federation is not None:
+            n = len(scenario.federation.clusters)
             print(
-                "error: --animate is not supported for federated scenarios yet",
+                f"error: --animate cannot render scenario "
+                f"{scenario.name!r}: the terminal renderer draws one "
+                f"cluster's machine panel, and this federation has {n} "
+                "cluster shards (a per-shard panel layout is an open "
+                "ROADMAP item, 'Renderer support for federations').\n"
+                "Instead you can:\n"
+                "  - drop --animate to run it headless; the per-cluster "
+                "summary table, routing matrix and WAN link report are "
+                "printed at the end, or\n"
+                "  - animate a single-cluster preset (e.g. --scenario "
+                "satellite_imaging; see 'e2c-sim scenarios').",
                 file=sys.stderr,
             )
             return 2

@@ -27,6 +27,7 @@ class EventType(enum.Enum):
     TASK_COMPLETION = "task_completion"
     MACHINE_REPAIR = "machine_repair"
     NETWORK_DELIVERY = "network_delivery"
+    LINK_TRANSFER = "link_transfer"
     TASK_ARRIVAL = "task_arrival"
     TASK_DEADLINE = "task_deadline"
     MACHINE_FAILURE = "machine_failure"
@@ -38,16 +39,19 @@ class EventType(enum.Enum):
 
 #: Total order of event kinds at equal timestamps (lower fires first).
 #: Repairs precede arrivals (an arrival at the repair instant sees the
-#: machine up); failures follow deadlines (a task completing or expiring at
-#: the failure instant resolves before the machine dies).
+#: machine up); WAN link transfers precede arrivals (a task routed onto a
+#: link at the instant a serialization finishes sees the link free);
+#: failures follow deadlines (a task completing or expiring at the failure
+#: instant resolves before the machine dies).
 EVENT_PRIORITY: dict[EventType, int] = {
     EventType.TASK_COMPLETION: 0,
     EventType.MACHINE_REPAIR: 1,
     EventType.NETWORK_DELIVERY: 2,
-    EventType.TASK_ARRIVAL: 3,
-    EventType.TASK_DEADLINE: 4,
-    EventType.MACHINE_FAILURE: 5,
-    EventType.CONTROL: 6,
+    EventType.LINK_TRANSFER: 3,
+    EventType.TASK_ARRIVAL: 4,
+    EventType.TASK_DEADLINE: 5,
+    EventType.MACHINE_FAILURE: 6,
+    EventType.CONTROL: 7,
 }
 
 # Mirror the priority table onto the members: Event.__init__ runs for every

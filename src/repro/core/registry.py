@@ -1,0 +1,147 @@
+"""Generic by-name plug-in registry.
+
+The scheduler registry (:mod:`repro.scheduling.registry`) and the gateway
+registry (:mod:`repro.scheduling.federation.registry`) grew as twins:
+decorator registration, alias handling, case-insensitive lookup, and the
+"unknown name" / "bad parameters" error surfaces were ~100 duplicated
+lines. :class:`NameRegistry` is the one implementation both instantiate,
+parameterised by the registered base class (the type parameter), the name
+canonicaliser, and the lookup error type — so a fix to alias collision or
+error wording lands in every registry at once.
+
+The scenario registry (:mod:`repro.scenarios.registry`) registers *factory
+functions*, not classes, and keeps its own implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterable, TypeVar
+
+from .errors import ConfigurationError
+
+__all__ = ["NameRegistry"]
+
+T = TypeVar("T")
+
+
+def _default_canonicalise(name: str) -> str:
+    return name.upper()
+
+
+class NameRegistry(Generic[T]):
+    """Mapping from canonical names (and aliases) to registered classes.
+
+    Parameters
+    ----------
+    kind:
+        Short noun used in registration error messages ("scheduler",
+        "gateway").
+    not_found_error:
+        Exception type raised by :meth:`resolve` for unknown names (e.g.
+        :class:`~repro.core.errors.UnknownSchedulerError`).
+    canonicalise:
+        Name normaliser applied to registered names, aliases and lookups
+        (default: uppercase; the gateway registry also folds ``-`` to
+        ``_``).
+    kind_full:
+        Longer noun for lookup/instantiation error messages ("gateway
+        policy"); defaults to ``kind``.
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        not_found_error: type[Exception],
+        canonicalise: Callable[[str], str] | None = None,
+        kind_full: str | None = None,
+    ) -> None:
+        self._kind = kind
+        self._kind_full = kind_full if kind_full is not None else kind
+        self._not_found_error = not_found_error
+        self._canonicalise = (
+            canonicalise if canonicalise is not None else _default_canonicalise
+        )
+        self._registry: dict[str, type[T]] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration ------------------------------------------------------------------
+
+    def register(
+        self,
+        cls: type[T] | None = None,
+        *,
+        aliases: Iterable[str] = (),
+    ) -> Any:
+        """Class decorator adding a class (by its ``name`` attribute).
+
+        Usable bare (``@register``) or parameterised
+        (``@register(aliases=("X",))``); idempotent for the same class.
+        """
+
+        def apply(klass: type[T]) -> type[T]:
+            name = str(getattr(klass, "name", ""))
+            if not name:
+                raise ConfigurationError(
+                    f"{klass.__name__} must define a non-empty 'name'"
+                )
+            key = self._canonicalise(name)
+            existing = self._registry.get(key)
+            if existing is not None and existing is not klass:
+                raise ConfigurationError(
+                    f"{self._kind} name {name!r} already registered to "
+                    f"{existing.__name__}"
+                )
+            self._registry[key] = klass
+            for alias in aliases:
+                alias_key = self._canonicalise(alias)
+                if alias_key in self._registry:
+                    raise ConfigurationError(
+                        f"alias {alias!r} collides with a registered "
+                        f"{self._kind} name"
+                    )
+                owner = self._aliases.get(alias_key)
+                if owner is not None and owner != key:
+                    raise ConfigurationError(
+                        f"alias {alias!r} already points to {owner}"
+                    )
+                self._aliases[alias_key] = key
+            return klass
+
+        if cls is not None:  # bare decorator form
+            return apply(cls)
+        return apply
+
+    # -- lookup ------------------------------------------------------------------------
+
+    def resolve(self, name: str) -> type[T]:
+        """Class registered under *name* or one of its aliases."""
+        key = self._canonicalise(name)
+        key = self._aliases.get(key, key)
+        try:
+            return self._registry[key]
+        except KeyError:
+            raise self._not_found_error(
+                f"unknown {self._kind_full} {name!r}; "
+                f"available: {self.names()}"
+            ) from None
+
+    def create(self, name: str, **kwargs: Any) -> T:
+        """Instantiate by registry name with constructor kwargs."""
+        klass = self.resolve(name)
+        try:
+            return klass(**kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"bad parameters for {self._kind_full} {name!r}: {exc}"
+            ) from exc
+
+    def names(
+        self, predicate: Callable[[type[T]], bool] | None = None
+    ) -> list[str]:
+        """Sorted canonical names, optionally filtered by *predicate*."""
+        return sorted(
+            name
+            for name, klass in self._registry.items()
+            if predicate is None or predicate(klass)
+        )

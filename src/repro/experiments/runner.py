@@ -20,7 +20,7 @@ import csv
 import io
 import multiprocessing
 import os
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Sequence
 
@@ -60,24 +60,45 @@ def _execute_cell(cell: RunSpec) -> "RunRecord":
         name=cell.label,
     )
     result = scenario.run()
+    extras: dict[str, float] = {}
+    if hasattr(result, "energy_split"):
+        # Federated run: carry the offloading/WAN energy metrics into the
+        # campaign table (small picklable floats, like the summary).
+        split = result.energy_split
+        extras = {
+            "offload_rate": result.offload_rate,
+            "wan_time_total": result.wan_time_total,
+            "wan_energy_total": result.wan_energy_total,
+            "energy_per_local_task": split.energy_per_local_task,
+            "energy_per_offloaded_task": split.energy_per_offloaded_task,
+        }
     return RunRecord(
         scenario=cell.label,
         scheduler=cell.scheduler,
         seed=cell.seed,
         run_seed=cell.run_seed,
         summary=result.summary,
+        extras=extras,
     )
 
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Outcome of one cell: grid coordinates plus the run's summary metrics."""
+    """Outcome of one cell: grid coordinates plus the run's summary metrics.
+
+    ``extras`` carries result-level metrics that live outside
+    :class:`~repro.metrics.collector.SummaryMetrics` — today the federated
+    offloading/WAN-energy figures (offload rate, WAN time and energy, the
+    edge-vs-cloud energy-per-completed-task split); empty for
+    single-cluster runs.
+    """
 
     scenario: str
     scheduler: str
     seed: int
     run_seed: int
     summary: SummaryMetrics
+    extras: dict = field(default_factory=dict)
 
     def row(self) -> dict:
         """Tidy-table row: identity columns then every summary metric."""
@@ -88,6 +109,7 @@ class RunRecord:
             "run_seed": self.run_seed,
         }
         out.update(self.summary.as_dict())
+        out.update(self.extras)
         return out
 
 
@@ -111,6 +133,7 @@ class CampaignResult:
         metric_cols: set[str] = set()
         for record in self.records:
             metric_cols.update(record.summary.as_dict())
+            metric_cols.update(record.extras)
         return list(IDENTITY_COLUMNS) + sorted(metric_cols)
 
     def to_csv(self, path: str | Path | None = None) -> str:

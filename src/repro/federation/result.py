@@ -10,19 +10,31 @@ and WAN/offload accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..metrics.collector import SummaryMetrics
 from ..metrics.energy import EnergyBreakdown
 from ..metrics.reports import ReportBundle
+from ..metrics.rollup import OffloadEnergySplit
+from ..net.wan import LinkUsage
 
 __all__ = ["FederatedSimulationResult"]
 
 
 @dataclass(frozen=True)
 class FederatedSimulationResult:
-    """Everything a finished federated run produced."""
+    """Everything a finished federated run produced.
+
+    ``wan_links`` is the per-physical-link traffic + energy account
+    (:class:`~repro.net.wan.LinkUsage`, keyed by link label such as
+    ``"edge<->cloud"``); ``energy_split`` is the edge-vs-cloud
+    energy-per-completed-task trade-off
+    (:class:`~repro.metrics.rollup.OffloadEnergySplit`). Machine energy
+    (``summary.total_energy``, ``energy``) and WAN energy
+    (``wan_energy_total``) are disjoint accounts;
+    ``total_energy_with_wan`` is their sum.
+    """
 
     summary: SummaryMetrics
     per_cluster: dict[str, SummaryMetrics]
@@ -36,6 +48,10 @@ class FederatedSimulationResult:
     scheduler_name: str
     gateway_name: str
     events_processed: int
+    wan_links: dict[str, LinkUsage] = field(default_factory=dict)
+    energy_split: OffloadEnergySplit = field(
+        default_factory=lambda: OffloadEnergySplit(0, 0, 0.0, 0.0, 0.0)
+    )
 
     @property
     def reports(self) -> ReportBundle:
@@ -54,6 +70,24 @@ class FederatedSimulationResult:
         total = self.summary.total_tasks
         return self.offloaded / total if total else 0.0
 
+    # -- WAN energy views ---------------------------------------------------------
+
+    @property
+    def wan_energy_total(self) -> float:
+        """Joules attributable to the WAN links (transfer + active + idle)."""
+        return sum(usage.total_energy for usage in self.wan_links.values())
+
+    @property
+    def total_energy_with_wan(self) -> float:
+        """Machine energy plus WAN link energy — the federation's bill."""
+        return self.summary.total_energy + self.wan_energy_total
+
+    @property
+    def energy_per_completed_task(self) -> float:
+        """Total (machine + WAN) joules per completed task."""
+        completed = self.summary.completed
+        return self.total_energy_with_wan / completed if completed else 0.0
+
     # -- routing views -----------------------------------------------------------
 
     def origins_by_cluster(self) -> dict[str, int]:
@@ -70,7 +104,7 @@ class FederatedSimulationResult:
     # -- rendering ----------------------------------------------------------------
 
     def to_text(self) -> str:
-        """Per-cluster + global summaries and the offload matrix."""
+        """Per-cluster + global summaries, offload matrix, WAN links, energy."""
         lines = [
             "== Federation Summary ==",
             f"gateway: {self.gateway_name}    "
@@ -84,6 +118,20 @@ class FederatedSimulationResult:
             f"({self.offload_rate:.1%}), total WAN transfer time "
             f"{self.wan_time_total:.2f} s",
         ]
+        if self.wan_links:
+            lines += ["", _wan_table(self.wan_links, self.end_time)]
+        split = self.energy_split
+        if split.local_completed or split.offloaded_completed:
+            lines += [
+                "",
+                "energy per completed task (machine busy J, + WAN payload J "
+                "for offloads):",
+                f"  local     {split.local_completed:>6} tasks  "
+                f"{split.energy_per_local_task:>10.2f} J/task",
+                f"  offloaded {split.offloaded_completed:>6} tasks  "
+                f"{split.energy_per_offloaded_task:>10.2f} J/task  "
+                f"(incl. {split.wan_transfer_energy:.1f} J WAN transfer)",
+            ]
         return "\n".join(lines)
 
 
@@ -109,6 +157,22 @@ def _summary_row(label: str, s: SummaryMetrics) -> str:
         f"{s.makespan:>9.1f} {s.total_energy:>11.1f} "
         f"{s.mean_utilization:>6.1%}"
     )
+
+
+def _wan_table(wan_links: Mapping[str, LinkUsage], end_time: float) -> str:
+    header = (
+        f"{'WAN link':<18} {'xfers':>6} {'lost':>5} {'MB':>9} "
+        f"{'busy s':>8} {'util':>6} {'xfer J':>9} {'link J':>9}"
+    )
+    rows = [header, "-" * len(header)]
+    for label, usage in wan_links.items():
+        rows.append(
+            f"{label:<18} {usage.delivered:>6} {usage.abandoned:>5} "
+            f"{usage.mb_delivered:>9.1f} {usage.busy_time:>8.2f} "
+            f"{usage.utilization(end_time):>6.1%} "
+            f"{usage.transfer_energy:>9.1f} {usage.total_energy:>9.1f}"
+        )
+    return "\n".join(rows)
 
 
 def _routing_table_text(routing: Mapping[str, Mapping[str, int]]) -> str:

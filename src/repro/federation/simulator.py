@@ -40,7 +40,13 @@ from ..machines.machine import Machine
 from ..machines.machine_queue import UNBOUNDED
 from ..machines.power import PowerProfile
 from ..metrics.collector import SummaryMetrics
-from ..metrics.rollup import global_energy, global_summary, routing_table
+from ..metrics.rollup import (
+    global_energy,
+    global_summary,
+    offload_energy_split,
+    routing_table,
+)
+from ..net.wan import WanManager, WanTransfer
 from ..scheduling.federation.base import GatewayContext
 from ..scheduling.federation.registry import create_gateway
 from ..scheduling.overhead import SchedulingOverhead
@@ -166,8 +172,10 @@ class FederatedSimulator:
         n = len(self.shards)
         self._routing = [[0] * n for _ in range(n)]
         self._offloaded = 0
-        self._wan_time = 0.0
-        self._transfers: dict[int, Event] = {}
+        # WAN link channels: contention disciplines, per-link energy, and
+        # the cancellation handles for tasks still crossing the WAN.
+        self._wan = WanManager(self.topology, self.events, spec.names)
+        self._transfers: dict[int, WanTransfer] = {}
         self._events_processed = 0
         self._finished = False
         self._result: FederatedSimulationResult | None = None
@@ -178,6 +186,7 @@ class FederatedSimulator:
             shards=self.shards,
             topology=self.topology,
             rng=self._gateway_rng,
+            wan=self._wan,
         )
 
         # Origin assignment: one vectorised draw, a pure function of the
@@ -221,9 +230,11 @@ class FederatedSimulator:
         return sum(shard.collector.recorded for shard in self.shards)
 
     def all_tasks_terminal(self) -> bool:
+        """True once every workload task reached a terminal state."""
         return self.recorded >= len(self.workload)
 
     def next_event_time(self) -> float | None:
+        """Timestamp of the next pending event (None when drained)."""
         return self.events.next_time()
 
     def step(self) -> Event | None:
@@ -293,6 +304,10 @@ class FederatedSimulator:
                 self._on_gateway_arrival(event.payload)
             elif event.type is EventType.TASK_DEADLINE:
                 self._on_deadline(event.payload)
+            elif event.type is EventType.LINK_TRANSFER:
+                # A WAN serialisation milestone: the owning link channel
+                # frees the pipe, delivers, and starts whatever is queued.
+                WanManager.on_link_event(event, self.now)
             elif event.type is EventType.CONTROL:  # pragma: no cover - hook
                 pass
             else:  # pragma: no cover - defensive
@@ -301,7 +316,9 @@ class FederatedSimulator:
                 )
         elif event.type is EventType.TASK_ARRIVAL:
             # A WAN transfer completed: the task reaches its destination.
-            self._transfers.pop(event.payload.id, None)
+            transfer = self._transfers.pop(event.payload.id, None)
+            if transfer is not None:
+                self._wan.on_delivered(transfer, self.now)
             self.shards[cluster_id]._on_arrival(event.payload)
         else:
             self.shards[cluster_id]._dispatch(event)
@@ -330,21 +347,9 @@ class FederatedSimulator:
         shard.routed += 1
         if destination != origin:
             self._offloaded += 1
-            delay = self.topology.wan_delay(
-                self.shards[origin].name,
-                shard.name,
-                task.task_type.data_in,
-            )
-            if delay > 0:
-                self._wan_time += delay
-                self._transfers[task.id] = self.events.push(
-                    Event(
-                        self.now + delay,
-                        EventType.TASK_ARRIVAL,
-                        task,
-                        cluster=destination,
-                    )
-                )
+            transfer = self._wan.submit(task, origin, destination, self.now)
+            if transfer is not None:
+                self._transfers[task.id] = transfer
                 return
         shard._on_arrival(task)
 
@@ -360,10 +365,12 @@ class FederatedSimulator:
         if task.status is TaskStatus.CREATED:
             # Still crossing the WAN: the transfer is abandoned and the task
             # is cancelled (deadline before any mapping decision), accounted
-            # to its destination cluster.
+            # to its destination cluster. The link channel reclaims the pipe
+            # for queued transfers and charges only the payload fraction
+            # that actually crossed.
             transfer = self._transfers.pop(task.id, None)
             if transfer is not None:
-                self.events.cancel(transfer)
+                self._wan.cancel(transfer, self.now)
             task.cancel(self.now)
             shard.collector.record_terminal(task)
             shard.type_stats.record(task.task_type.name, False)
@@ -409,12 +416,15 @@ class FederatedSimulator:
         summary = global_summary(
             [shard.collector for shard in self.shards], machines, end_time=now
         )
+        all_tasks: list[Task] = []
+        for shard in self.shards:
+            all_tasks.extend(shard.collector.tasks())
         return FederatedSimulationResult(
             summary=summary,
             per_cluster=per_cluster,
             routing=routing_table(names, self._routing),
             offloaded=self._offloaded,
-            wan_time_total=self._wan_time,
+            wan_time_total=self._wan.total_time,
             task_records=task_records,
             machine_records=machine_records,
             energy=global_energy(machines),
@@ -422,6 +432,10 @@ class FederatedSimulator:
             scheduler_name=self.scheduler_name,
             gateway_name=self.gateway.name,
             events_processed=self._events_processed,
+            wan_links=self._wan.usage(now),
+            energy_split=offload_energy_split(
+                all_tasks, names, self.topology
+            ),
         )
 
     # -- renderer-facing state -----------------------------------------------------------

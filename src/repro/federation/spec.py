@@ -79,6 +79,7 @@ class ClusterSpec:
             )
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (omits unset optional fields)."""
         out: dict[str, Any] = {
             "name": self.name,
             "machine_counts": dict(self.machine_counts),
@@ -162,6 +163,7 @@ class FederationSpec:
         return [c.name for c in self.clusters]
 
     def index_of(self, name: str) -> int:
+        """Shard index of the cluster called *name*."""
         for i, cluster in enumerate(self.clusters):
             if cluster.name == name:
                 return i
@@ -182,11 +184,13 @@ class FederationSpec:
         return totals
 
     def arrival_weights(self) -> list[float]:
+        """Per-cluster arrival weights, in federation order."""
         return [c.weight for c in self.clusters]
 
     # -- JSON round-trip ---------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form of the whole federation."""
         return {
             "clusters": [c.to_dict() for c in self.clusters],
             "gateway": self.gateway,

@@ -11,18 +11,24 @@ derived from the gateway's routing matrix.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from ..tasks.task import TaskStatus
 from .collector import MetricsCollector, SummaryMetrics
 from .energy import EnergyBreakdown, energy_breakdown
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..machines.machine import Machine
+    from ..net.topology import InterClusterTopology
+    from ..tasks.task import Task
 
 __all__ = [
     "global_summary",
     "global_energy",
     "routing_table",
+    "OffloadEnergySplit",
+    "offload_energy_split",
 ]
 
 
@@ -54,3 +60,89 @@ def routing_table(
         src: {dst: int(matrix[i][j]) for j, dst in enumerate(names)}
         for i, src in enumerate(names)
     }
+
+
+@dataclass(frozen=True)
+class OffloadEnergySplit:
+    """The edge-vs-cloud energy trade-off of one federated run.
+
+    Completed tasks are split by whether the gateway kept them at their
+    origin cluster (*local*) or shipped them across the WAN (*offloaded*).
+    Task energy is the machine busy energy attributed to each task's
+    execution; offloaded tasks additionally carry the J/MB payload cost of
+    their WAN crossing. ``energy_per_local_task`` vs
+    ``energy_per_offloaded_task`` is the number an offloading study
+    optimises: when the offloaded figure (execution on the fast remote
+    machines *plus* the transfer) beats the local one, shipping work out
+    saves energy per unit of work — the ELARE/FELARE question, federated.
+    """
+
+    local_completed: int
+    offloaded_completed: int
+    local_task_energy: float        # J: execution energy of local tasks
+    offloaded_task_energy: float    # J: execution energy of offloaded tasks
+    wan_transfer_energy: float      # J: payload cost of their WAN crossings
+
+    @property
+    def energy_per_local_task(self) -> float:
+        """Mean execution joules per locally-completed task."""
+        if not self.local_completed:
+            return 0.0
+        return self.local_task_energy / self.local_completed
+
+    @property
+    def energy_per_offloaded_task(self) -> float:
+        """Mean execution + WAN joules per offloaded completed task."""
+        if not self.offloaded_completed:
+            return 0.0
+        return (
+            self.offloaded_task_energy + self.wan_transfer_energy
+        ) / self.offloaded_completed
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat numeric form for campaign tables and reports."""
+        return {
+            "local_completed": float(self.local_completed),
+            "offloaded_completed": float(self.offloaded_completed),
+            "local_task_energy": self.local_task_energy,
+            "offloaded_task_energy": self.offloaded_task_energy,
+            "wan_transfer_energy": self.wan_transfer_energy,
+            "energy_per_local_task": self.energy_per_local_task,
+            "energy_per_offloaded_task": self.energy_per_offloaded_task,
+        }
+
+
+def offload_energy_split(
+    tasks: Sequence["Task"],
+    names: Sequence[str],
+    topology: "InterClusterTopology",
+) -> OffloadEnergySplit:
+    """Split completed-task energy into local vs offloaded accounts.
+
+    The WAN share of an offloaded task is exact: a completed task's payload
+    crossed its origin→destination link in full, so its cost is that link's
+    ``energy_per_mb`` times the task's input size — no per-transfer state
+    needed.
+    """
+    local_n = offloaded_n = 0
+    local_e = offloaded_e = wan_e = 0.0
+    for task in tasks:
+        if task.status is not TaskStatus.COMPLETED:
+            continue
+        origin, cluster = task.origin_cluster, task.cluster
+        energy = task.energy or 0.0
+        if origin is None or cluster is None or origin == cluster:
+            local_n += 1
+            local_e += energy
+        else:
+            offloaded_n += 1
+            offloaded_e += energy
+            link = topology.link_between(names[origin], names[cluster])
+            wan_e += link.transfer_energy(task.task_type.data_in)
+    return OffloadEnergySplit(
+        local_completed=local_n,
+        offloaded_completed=offloaded_n,
+        local_task_energy=local_e,
+        offloaded_task_energy=offloaded_e,
+        wan_transfer_energy=wan_e,
+    )

@@ -20,29 +20,146 @@ from typing import Any, Iterable, Mapping
 
 from ..core.errors import ConfigurationError
 
-__all__ = ["Link", "StarTopology", "InterClusterTopology"]
+__all__ = ["Link", "StarTopology", "InterClusterTopology", "CONTENTION_MODES"]
+
+
+#: Contention disciplines a WAN link may run (see :mod:`repro.net.wan`).
+CONTENTION_MODES = ("none", "fifo", "ps")
 
 
 @dataclass(frozen=True)
 class Link:
-    """One scheduler→machine-type link."""
+    """One network link: scheduler→machine-type or cluster→cluster (WAN).
+
+    ``latency`` and ``bandwidth`` describe the pipe. The remaining fields
+    only matter for inter-cluster (WAN) links used by the federation layer:
+
+    ``contention``
+        How concurrent transfers over this link share it. ``"none"``
+        (default) keeps the legacy model — every transfer independently
+        pays ``latency + size/bandwidth`` and overlapping transfers do not
+        interact. ``"fifo"`` serialises transfers one at a time in arrival
+        order; ``"ps"`` (processor sharing) divides the bandwidth equally
+        among all in-flight transfers. Both queueing disciplines require a
+        finite ``bandwidth``. See :class:`repro.net.wan.LinkChannel`.
+    ``energy_per_mb``
+        Joules consumed per megabyte pushed across the link (NIC + haul
+        cost); charged to the link as payload bytes are serialised.
+    ``idle_watts`` / ``busy_watts``
+        Electrical power the link port draws while idle and while actively
+        serialising at least one transfer; integrated over the run into the
+        per-link energy report (:class:`repro.net.wan.LinkUsage`).
+    """
 
     latency: float = 0.0       # seconds
     bandwidth: float = 0.0     # MB/s; 0 = latency-only link
+    contention: str = "none"   # "none" | "fifo" | "ps"
+    energy_per_mb: float = 0.0  # J/MB serialised
+    idle_watts: float = 0.0
+    busy_watts: float = 0.0
 
     def __post_init__(self) -> None:
         if self.latency < 0:
             raise ConfigurationError(f"latency must be >= 0: {self.latency}")
         if self.bandwidth < 0:
             raise ConfigurationError(f"bandwidth must be >= 0: {self.bandwidth}")
+        if self.contention not in CONTENTION_MODES:
+            raise ConfigurationError(
+                f"contention must be one of {CONTENTION_MODES}, "
+                f"got {self.contention!r}"
+            )
+        if self.contention != "none" and self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"contention {self.contention!r} needs a finite bandwidth; "
+                "a latency-only link has no serialisation to contend for"
+            )
+        if self.energy_per_mb < 0:
+            raise ConfigurationError(
+                f"energy_per_mb must be >= 0: {self.energy_per_mb}"
+            )
+        if self.idle_watts < 0 or self.busy_watts < 0:
+            raise ConfigurationError(
+                f"link power must be >= 0: idle={self.idle_watts}, "
+                f"busy={self.busy_watts}"
+            )
 
     def delay_for(self, megabytes: float) -> float:
-        """Transfer time of a payload over this link."""
+        """Transfer time of a payload over this link (uncontended)."""
         if megabytes < 0:
             raise ConfigurationError(f"payload must be >= 0: {megabytes}")
         if self.bandwidth > 0 and megabytes > 0:
             return self.latency + megabytes / self.bandwidth
         return self.latency
+
+    def service_time(self, megabytes: float) -> float:
+        """Serialisation time of a payload: the part transfers contend for."""
+        if self.bandwidth > 0 and megabytes > 0:
+            return megabytes / self.bandwidth
+        return 0.0
+
+    def transfer_energy(self, megabytes: float) -> float:
+        """Joules to push a payload across this link (J/MB cost only)."""
+        return self.energy_per_mb * megabytes
+
+    @property
+    def is_contended(self) -> bool:
+        """True when concurrent transfers queue instead of overlapping."""
+        return self.contention != "none"
+
+    @property
+    def has_energy_model(self) -> bool:
+        """True when the link accounts energy (J/MB or electrical power)."""
+        return (
+            self.energy_per_mb > 0
+            or self.idle_watts > 0
+            or self.busy_watts > 0
+        )
+
+    # -- JSON round-trip ----------------------------------------------------------
+
+    def to_spec(self) -> Any:
+        """Compact JSON form: ``[latency, bandwidth]`` for plain links, a
+        mapping once contention or energy parameters are set (so legacy
+        scenario files round-trip byte-identically)."""
+        if self.contention == "none" and not self.has_energy_model:
+            return [self.latency, self.bandwidth]
+        out: dict[str, Any] = {
+            "latency": self.latency,
+            "bandwidth": self.bandwidth,
+            "contention": self.contention,
+        }
+        if self.energy_per_mb:
+            out["energy_per_mb"] = self.energy_per_mb
+        if self.idle_watts:
+            out["idle_watts"] = self.idle_watts
+        if self.busy_watts:
+            out["busy_watts"] = self.busy_watts
+        return out
+
+    _SPEC_KEYS = frozenset(
+        ("latency", "bandwidth", "contention", "energy_per_mb",
+         "idle_watts", "busy_watts")
+    )
+
+    @classmethod
+    def from_spec(cls, spec: Any) -> "Link":
+        """Inverse of :meth:`to_spec` (accepts both forms)."""
+        if isinstance(spec, Mapping):
+            unknown = set(spec) - cls._SPEC_KEYS
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown link spec key(s) {sorted(unknown)}; "
+                    f"allowed: {sorted(cls._SPEC_KEYS)}"
+                )
+            return cls(
+                latency=float(spec.get("latency", 0.0)),
+                bandwidth=float(spec.get("bandwidth", 0.0)),
+                contention=str(spec.get("contention", "none")),
+                energy_per_mb=float(spec.get("energy_per_mb", 0.0)),
+                idle_watts=float(spec.get("idle_watts", 0.0)),
+                busy_watts=float(spec.get("busy_watts", 0.0)),
+            )
+        return cls(float(spec[0]), float(spec[1]))
 
 
 @dataclass
@@ -53,11 +170,13 @@ class StarTopology:
     default: Link = field(default_factory=Link)
 
     def link_for(self, machine_type_name: str) -> Link:
+        """Effective link toward one machine type (falls back to default)."""
         return self.links.get(machine_type_name, self.default)
 
     def set_link(
         self, machine_type_name: str, latency: float, bandwidth: float = 0.0
     ) -> "StarTopology":
+        """Set the link toward one machine type (chainable)."""
         self.links[machine_type_name] = Link(latency, bandwidth)
         return self
 
@@ -139,14 +258,48 @@ class InterClusterTopology:
             link = self.links.get((dst, src))
         return link if link is not None else self.default
 
+    def link_key(self, src: str, dst: str) -> tuple[str, str]:
+        """Identity of the *physical* link carrying ``src → dst`` traffic.
+
+        Contention and energy state (:mod:`repro.net.wan`) is tracked per
+        physical link, not per direction of traffic: with ``symmetric=True``
+        both directions of a cluster pair share one pipe, so this returns
+        one canonical key for either direction. Distinct directed entries
+        (or an asymmetric topology) keep separate keys — two one-way pipes.
+        """
+        if (src, dst) in self.links:
+            return (src, dst)
+        if self.symmetric:
+            if (dst, src) in self.links:
+                return (dst, src)
+            return (src, dst) if src <= dst else (dst, src)
+        return (src, dst)
+
     def set_link(
-        self, src: str, dst: str, latency: float, bandwidth: float = 0.0
+        self,
+        src: str,
+        dst: str,
+        latency: float,
+        bandwidth: float = 0.0,
+        *,
+        contention: str = "none",
+        energy_per_mb: float = 0.0,
+        idle_watts: float = 0.0,
+        busy_watts: float = 0.0,
     ) -> "InterClusterTopology":
+        """Set the directed src→dst link, with contention/energy (chainable)."""
         if src == dst:
             raise ConfigurationError(
                 f"intra-cluster link {src!r}->{dst!r} is implicit and free"
             )
-        self.links[(src, dst)] = Link(latency, bandwidth)
+        self.links[(src, dst)] = Link(
+            latency,
+            bandwidth,
+            contention=contention,
+            energy_per_mb=energy_per_mb,
+            idle_watts=idle_watts,
+            busy_watts=busy_watts,
+        )
         return self
 
     def wan_delay(self, src: str, dst: str, megabytes: float) -> float:
@@ -161,6 +314,11 @@ class InterClusterTopology:
         cluster_names: Iterable[str],
         latency: float,
         bandwidth: float = 0.0,
+        *,
+        contention: str = "none",
+        energy_per_mb: float = 0.0,
+        idle_watts: float = 0.0,
+        busy_watts: float = 0.0,
     ) -> "InterClusterTopology":
         """Same WAN characteristics between every pair of clusters.
 
@@ -168,8 +326,19 @@ class InterClusterTopology:
         already falls back to it for every pair, so no per-pair entries are
         materialised (or serialised). ``cluster_names`` is accepted for
         symmetry with :meth:`StarTopology.uniform` but only documents intent.
+        Each cluster pair still gets its *own* contention/energy state
+        (falling back to one shared parameter set is not one shared pipe).
         """
-        return cls(default=Link(latency, bandwidth))
+        return cls(
+            default=Link(
+                latency,
+                bandwidth,
+                contention=contention,
+                energy_per_mb=energy_per_mb,
+                idle_watts=idle_watts,
+                busy_watts=busy_watts,
+            )
+        )
 
     @classmethod
     def from_star(
@@ -206,12 +375,13 @@ class InterClusterTopology:
     # -- JSON round-trip ----------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (links in the compact or mapping spec form)."""
         return {
             "links": {
-                f"{src}->{dst}": [link.latency, link.bandwidth]
+                f"{src}->{dst}": link.to_spec()
                 for (src, dst), link in sorted(self.links.items())
             },
-            "default": [self.default.latency, self.default.bandwidth],
+            "default": self.default.to_spec(),
             "symmetric": self.symmetric,
         }
 
@@ -224,10 +394,9 @@ class InterClusterTopology:
                 raise ConfigurationError(
                     f"inter-cluster link key must be 'src->dst', got {key!r}"
                 )
-            links[(src, dst)] = Link(float(value[0]), float(value[1]))
-        default = data.get("default", [0.0, 0.0])
+            links[(src, dst)] = Link.from_spec(value)
         return cls(
             links=links,
-            default=Link(float(default[0]), float(default[1])),
+            default=Link.from_spec(data.get("default", [0.0, 0.0])),
             symmetric=bool(data.get("symmetric", True)),
         )

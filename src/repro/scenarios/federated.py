@@ -34,7 +34,7 @@ from ..net.topology import InterClusterTopology
 from ..tasks.task_type import TaskType
 from .registry import register_scenario
 
-__all__ = ["edge_cloud", "geo_3site", "fed_heavytail"]
+__all__ = ["edge_cloud", "geo_3site", "fed_heavytail", "fed_congested"]
 
 
 @register_scenario
@@ -48,6 +48,8 @@ def edge_cloud(
     seed: int = 19,
     wan_latency: float = 0.08,
     wan_bandwidth: float = 25.0,
+    wan_contention: str = "none",
+    wan_energy_per_mb: float = 0.0,
 ) -> Scenario:
     """Edge-cloud offloading: 4 edge CPUs vs a 6-machine cloud over a WAN.
 
@@ -57,6 +59,11 @@ def edge_cloud(
     analytics (8 MB payloads) and model updates (20 MB) make that trade-off
     non-trivial, sensor fusion (0.5 MB) is cheap to ship but also cheap to
     run locally.
+
+    The contended-WAN variant: pass ``wan_contention="fifo"`` (or ``"ps"``)
+    to make concurrent offloads queue for the link instead of overlapping
+    for free, and ``wan_energy_per_mb`` to charge each shipped megabyte
+    (see :mod:`repro.net.wan` and the ``fed_congested`` preset).
     """
     task_types = [
         TaskType("video_analytics", 0, data_in=8.0),
@@ -91,7 +98,11 @@ def edge_cloud(
         gateway=gateway,
         gateway_params=dict(gateway_params or {}),
         topology=InterClusterTopology.uniform(
-            ["edge", "cloud"], latency=wan_latency, bandwidth=wan_bandwidth
+            ["edge", "cloud"],
+            latency=wan_latency,
+            bandwidth=wan_bandwidth,
+            contention=wan_contention,
+            energy_per_mb=wan_energy_per_mb,
         ),
     )
     return Scenario(
@@ -127,6 +138,7 @@ def geo_3site(
     intensity: str | float = "medium",
     duration: float = 600.0,
     seed: int = 23,
+    wan_contention: str = "none",
 ) -> Scenario:
     """Three geo-distributed sites with asymmetric WAN latencies.
 
@@ -134,6 +146,8 @@ def geo_3site(
     pair each); arrivals originate at all three sites in a 3:2:1 ratio.
     The WAN triangle is asymmetric — the long haul costs 3x the short hop —
     so pure load balancing and locality make measurably different choices.
+    ``wan_contention`` applies one queueing discipline (``"fifo"``/``"ps"``)
+    to all three links of the triangle.
     """
     eet = generate_eet_cvb(
         5,
@@ -149,9 +163,9 @@ def geo_3site(
         ],
     )
     topology = InterClusterTopology()
-    topology.set_link("ams", "nyc", 0.04, 60.0)
-    topology.set_link("nyc", "tyo", 0.09, 40.0)
-    topology.set_link("ams", "tyo", 0.12, 40.0)
+    topology.set_link("ams", "nyc", 0.04, 60.0, contention=wan_contention)
+    topology.set_link("nyc", "tyo", 0.09, 40.0, contention=wan_contention)
+    topology.set_link("ams", "tyo", 0.12, 40.0, contention=wan_contention)
     federation = FederationSpec(
         clusters=[
             ClusterSpec(
@@ -270,4 +284,108 @@ def fed_heavytail(
         federation=federation,
         seed=seed,
         name="fed_heavytail",
+    )
+
+
+@register_scenario
+def fed_congested(
+    *,
+    scheduler: str = "MECT",
+    gateway: str = "EET_AWARE_REMOTE",
+    gateway_params: dict | None = None,
+    intensity: str | float = 1.4,
+    duration: float = 300.0,
+    seed: int = 43,
+    uplink_bandwidth: float = 8.0,
+    energy_per_mb: float = 0.35,
+) -> Scenario:
+    """Two edge sites offloading into one cloud over *contended* WAN links.
+
+    The scenario the WAN-as-queueing-resource model exists for: both edge
+    sites ship large payloads toward the same cloud, but each uplink is a
+    narrow pipe — edge_a's runs FIFO (transfers serialise, latecomers
+    wait), edge_b's runs processor sharing (everyone crawls together) — so
+    offloading decisions that look free under the overlap model pile up
+    real queueing delay here. Every link also carries an energy price
+    (``energy_per_mb`` J/MB plus idle/active port power), making the
+    edge-vs-cloud ``energy_per_completed_task`` split non-trivial: the
+    cloud runs tasks faster and cheaper per joule, but only after paying to
+    ship the payload. The default congestion-aware EET_AWARE_REMOTE gateway
+    reads the link backlog and keeps traffic home once the pipes fill.
+    """
+    task_types = [
+        TaskType("video_analytics", 0, data_in=8.0),
+        TaskType("sensor_fusion", 1, data_in=0.5),
+        TaskType("model_update", 2, data_in=20.0),
+    ]
+    eet = EETMatrix(
+        np.array(
+            [
+                # edge_cpu  cloud_cpu  cloud_gpu
+                [25.0, 8.0, 2.5],    # video analytics
+                [6.0, 3.0, 2.0],     # sensor fusion
+                [40.0, 12.0, 4.0],   # model update
+            ]
+        ),
+        task_types,
+        ["edge_cpu", "cloud_cpu", "cloud_gpu"],
+    )
+    topology = InterClusterTopology()
+    topology.set_link(
+        "edge_a", "cloud", 0.05, uplink_bandwidth,
+        contention="fifo", energy_per_mb=energy_per_mb,
+        idle_watts=2.0, busy_watts=12.0,
+    )
+    topology.set_link(
+        "edge_b", "cloud", 0.05, uplink_bandwidth,
+        contention="ps", energy_per_mb=energy_per_mb,
+        idle_watts=2.0, busy_watts=12.0,
+    )
+    topology.set_link(
+        "edge_a", "edge_b", 0.02, 40.0,
+        contention="ps", energy_per_mb=energy_per_mb / 2,
+    )
+    federation = FederationSpec(
+        clusters=[
+            ClusterSpec(
+                name="edge_a",
+                machine_counts={"edge_cpu": 3},
+                weight=1.0,
+            ),
+            ClusterSpec(
+                name="edge_b",
+                machine_counts={"edge_cpu": 3},
+                weight=1.0,
+            ),
+            ClusterSpec(
+                name="cloud",
+                machine_counts={"cloud_cpu": 4, "cloud_gpu": 2},
+                weight=0.0,  # offloading target only
+            ),
+        ],
+        gateway=gateway,
+        gateway_params=dict(gateway_params or {}),
+        topology=topology,
+    )
+    return Scenario(
+        eet=eet,
+        machine_counts={"edge_cpu": 6, "cloud_cpu": 4, "cloud_gpu": 2},
+        scheduler=scheduler,
+        generator={
+            "duration": duration,
+            "intensity": intensity,
+            "specs": [
+                {"name": "video_analytics", "share": 1.0, "slack_factor": 4.0},
+                {"name": "sensor_fusion", "share": 2.0, "slack_factor": 5.0},
+                {"name": "model_update", "share": 0.5, "slack_factor": 6.0},
+            ],
+        },
+        power_profiles={
+            "edge_cpu": PowerProfile(idle_watts=3.0, busy_watts=9.0),
+            "cloud_cpu": PowerProfile(idle_watts=40.0, busy_watts=120.0),
+            "cloud_gpu": PowerProfile(idle_watts=35.0, busy_watts=260.0),
+        },
+        federation=federation,
+        seed=seed,
+        name="fed_congested",
     )

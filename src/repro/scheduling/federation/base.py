@@ -25,6 +25,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from ...machines.cluster import Cluster
     from ...net.topology import InterClusterTopology
+    from ...net.wan import WanManager
     from ...tasks.task import Task
 
 __all__ = ["ShardView", "GatewayContext", "GatewayPolicy", "shard_pressure"]
@@ -104,6 +105,11 @@ class GatewayContext:
         Inter-cluster WAN links (``wan_delay(src, dst, megabytes)``).
     rng:
         Seeded generator for stochastic gateways (random-split).
+    wan:
+        Live WAN link state (:class:`repro.net.wan.WanManager`) — the
+        congestion and energy signals. ``None`` in lightweight test
+        harnesses; the signal methods below then fall back to the static
+        topology numbers.
     """
 
     now: float
@@ -112,14 +118,48 @@ class GatewayContext:
     shards: Sequence[ShardView]
     topology: "InterClusterTopology"
     rng: np.random.Generator
+    wan: "WanManager | None" = None
 
     def wan_delay_to(self, destination: int) -> float:
-        """Transfer delay of the current task from its origin to *destination*."""
+        """Static (contention-blind) transfer delay of the current task."""
         return self.topology.wan_delay(
             self.shards[self.origin].name,
             self.shards[destination].name,
             self.task.task_type.data_in,
         )
+
+    def estimated_wan_delay_to(self, destination: int) -> float:
+        """Backlog-aware expected in-WAN time of the current task.
+
+        On an uncontended (``"none"``) link — or without live WAN state —
+        this equals :meth:`wan_delay_to`, so congestion-aware policies
+        degrade exactly to their PR-3 behaviour when contention is off.
+        """
+        if self.wan is None:
+            return self.wan_delay_to(destination)
+        return self.wan.estimated_delay(
+            self.shards[self.origin].name,
+            self.shards[destination].name,
+            self.task.task_type.data_in,
+            self.now,
+        )
+
+    def link_queue_depth(self, destination: int) -> int:
+        """Transfers occupying/awaiting the origin→destination link, now."""
+        if self.wan is None:
+            return 0
+        return self.wan.queue_depth(
+            self.shards[self.origin].name, self.shards[destination].name
+        )
+
+    def wan_energy_to(self, destination: int) -> float:
+        """Joules the WAN would charge to ship the current task there."""
+        if destination == self.origin:
+            return 0.0
+        link = self.topology.link_between(
+            self.shards[self.origin].name, self.shards[destination].name
+        )
+        return link.transfer_energy(self.task.task_type.data_in)
 
 
 class GatewayPolicy(abc.ABC):

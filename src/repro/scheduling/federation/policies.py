@@ -103,17 +103,38 @@ class EETAwareRemoteGateway(GatewayPolicy):
 
     For each cluster the estimate is the minimum over its machines of
     ``ready_time + EET`` (the same vectorised quantity MECT minimises
-    locally) plus the WAN delay from the task's origin. The origin wins
-    ties, so zero-latency federations behave exactly like one big MECT
-    front-end.
+    locally) plus the *backlog-aware* WAN delay from the task's origin
+    (:meth:`~repro.scheduling.federation.base.GatewayContext.estimated_wan_delay_to`):
+    on contended links the estimate includes the link's current queue, so a
+    congested pipe steers traffic away. On uncontended links the estimate
+    equals the static delay and the policy behaves exactly as before
+    contention existed. The origin wins ties, so zero-latency federations
+    behave exactly like one big MECT front-end.
+
+    ``energy_weight`` (J → seconds exchange rate, default 0) adds
+    ``energy_weight × transfer joules`` to each remote cluster's cost,
+    turning the policy into an energy-aware offloader: at 0 it minimises
+    completion time alone; large values keep energy-expensive payloads home
+    unless the remote speed-up is overwhelming.
     """
 
     name = "EET_AWARE_REMOTE"
-    description = "route to the cluster minimising WAN delay + best completion"
+    description = (
+        "route to the cluster minimising congestion-aware WAN delay + best "
+        "completion (optionally energy-weighted)"
+    )
+
+    def __init__(self, *, energy_weight: float = 0.0) -> None:
+        if energy_weight < 0:
+            raise ConfigurationError(
+                f"energy_weight must be >= 0, got {energy_weight}"
+            )
+        self.energy_weight = energy_weight
 
     def choose_cluster(self, ctx: GatewayContext) -> int:
         task, now = ctx.task, ctx.now
         origin = ctx.origin
+        weight = self.energy_weight
         best = origin
         best_cost = float(
             ctx.shards[origin].cluster.completion_times(task, now).min()
@@ -121,9 +142,11 @@ class EETAwareRemoteGateway(GatewayPolicy):
         for shard in ctx.shards:
             if shard.index == origin:
                 continue
-            cost = ctx.wan_delay_to(shard.index) + float(
+            cost = ctx.estimated_wan_delay_to(shard.index) + float(
                 shard.cluster.completion_times(task, now).min()
             )
+            if weight:
+                cost += weight * ctx.wan_energy_to(shard.index)
             if cost < best_cost:
                 best, best_cost = shard.index, cost
         return best

@@ -6,13 +6,19 @@ gateway (inter-cluster offloading) policies get the identical treatment so a
 and campaigns can sweep offloading × local-policy grids. Names are matched
 case-insensitively and ``-``/``_`` interchangeably, so the CLI accepts
 ``least-loaded`` for ``LEAST_LOADED``.
+
+Both registries are instances of the same generic
+:class:`~repro.core.registry.NameRegistry`; this module binds it to
+:class:`~repro.scheduling.federation.base.GatewayPolicy` with the
+dash-folding canonicaliser and the gateway error type.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Type
 
-from ...core.errors import ConfigurationError, UnknownGatewayError
+from ...core.errors import UnknownGatewayError
+from ...core.registry import NameRegistry
 from .base import GatewayPolicy
 
 __all__ = [
@@ -22,12 +28,17 @@ __all__ = [
     "gateway_class",
 ]
 
-_REGISTRY: dict[str, Type[GatewayPolicy]] = {}
-_ALIASES: dict[str, str] = {}
-
 
 def _canonical(name: str) -> str:
     return name.upper().replace("-", "_")
+
+
+_REGISTRY: NameRegistry[GatewayPolicy] = NameRegistry(
+    kind="gateway",
+    kind_full="gateway policy",
+    not_found_error=UnknownGatewayError,
+    canonicalise=_canonical,
+)
 
 
 def register_gateway(
@@ -42,62 +53,19 @@ def register_gateway(
             name = "LEAST_LOADED"
             ...
     """
-
-    def apply(klass: Type[GatewayPolicy]) -> Type[GatewayPolicy]:
-        if not klass.name:
-            raise ConfigurationError(
-                f"{klass.__name__} must define a non-empty 'name'"
-            )
-        key = _canonical(klass.name)
-        existing = _REGISTRY.get(key)
-        if existing is not None and existing is not klass:
-            raise ConfigurationError(
-                f"gateway name {klass.name!r} already registered to "
-                f"{existing.__name__}"
-            )
-        _REGISTRY[key] = klass
-        for alias in aliases:
-            alias_key = _canonical(alias)
-            if alias_key in _REGISTRY:
-                raise ConfigurationError(
-                    f"alias {alias!r} collides with a registered gateway name"
-                )
-            owner = _ALIASES.get(alias_key)
-            if owner is not None and owner != key:
-                raise ConfigurationError(
-                    f"alias {alias!r} already points to {owner}"
-                )
-            _ALIASES[alias_key] = key
-        return klass
-
-    if cls is not None:  # bare decorator form
-        return apply(cls)
-    return apply
+    return _REGISTRY.register(cls, aliases=aliases)
 
 
 def gateway_class(name: str) -> Type[GatewayPolicy]:
     """Resolve a gateway-policy class by name or alias (case-insensitive)."""
-    key = _canonical(name)
-    key = _ALIASES.get(key, key)
-    try:
-        return _REGISTRY[key]
-    except KeyError:
-        raise UnknownGatewayError(
-            f"unknown gateway policy {name!r}; available: {available_gateways()}"
-        ) from None
+    return _REGISTRY.resolve(name)
 
 
 def create_gateway(name: str, **kwargs: Any) -> GatewayPolicy:
     """Instantiate a gateway policy by registry name with policy kwargs."""
-    klass = gateway_class(name)
-    try:
-        return klass(**kwargs)
-    except TypeError as exc:
-        raise ConfigurationError(
-            f"bad parameters for gateway policy {name!r}: {exc}"
-        ) from exc
+    return _REGISTRY.create(name, **kwargs)
 
 
 def available_gateways() -> list[str]:
     """Sorted names of every registered gateway policy."""
-    return sorted(_REGISTRY)
+    return _REGISTRY.names()

@@ -5,13 +5,19 @@ developed scheduling method and plug it into the system". Any subclass of
 :class:`~repro.scheduling.base.Scheduler` decorated with
 :func:`register_scheduler` becomes creatable by name (the GUI drop-down of
 Fig. 3 corresponds to :func:`available_schedulers`).
+
+The mechanics live in the generic :class:`~repro.core.registry.NameRegistry`
+(shared with the gateway-policy registry); this module binds it to the
+:class:`~repro.scheduling.base.Scheduler` base class and keeps the public
+function surface stable.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Type
+from typing import Any, Iterable, Type
 
-from ..core.errors import ConfigurationError, UnknownSchedulerError
+from ..core.errors import UnknownSchedulerError
+from ..core.registry import NameRegistry
 from .base import Scheduler, SchedulingMode
 
 __all__ = [
@@ -21,13 +27,14 @@ __all__ = [
     "scheduler_class",
 ]
 
-_REGISTRY: dict[str, Type[Scheduler]] = {}
-_ALIASES: dict[str, str] = {}
+_REGISTRY: NameRegistry[Scheduler] = NameRegistry(
+    kind="scheduler", not_found_error=UnknownSchedulerError
+)
 
 
 def register_scheduler(
     cls: Type[Scheduler] | None = None, *, aliases: Iterable[str] = ()
-):
+) -> Any:
     """Class decorator adding a Scheduler to the registry.
 
     Usage::
@@ -37,67 +44,21 @@ def register_scheduler(
             name = "MECT"
             ...
     """
-
-    def apply(klass: Type[Scheduler]) -> Type[Scheduler]:
-        if not klass.name:
-            raise ConfigurationError(
-                f"{klass.__name__} must define a non-empty 'name'"
-            )
-        key = klass.name.upper()
-        existing = _REGISTRY.get(key)
-        if existing is not None and existing is not klass:
-            raise ConfigurationError(
-                f"scheduler name {klass.name!r} already registered to "
-                f"{existing.__name__}"
-            )
-        _REGISTRY[key] = klass
-        for alias in aliases:
-            alias_key = alias.upper()
-            if alias_key in _REGISTRY:
-                raise ConfigurationError(
-                    f"alias {alias!r} collides with a registered scheduler name"
-                )
-            owner = _ALIASES.get(alias_key)
-            if owner is not None and owner != key:
-                raise ConfigurationError(
-                    f"alias {alias!r} already points to {owner}"
-                )
-            _ALIASES[alias_key] = key
-        return klass
-
-    if cls is not None:  # bare decorator form
-        return apply(cls)
-    return apply
+    return _REGISTRY.register(cls, aliases=aliases)
 
 
 def scheduler_class(name: str) -> Type[Scheduler]:
     """Resolve a scheduler class by name or alias (case-insensitive)."""
-    key = name.upper()
-    key = _ALIASES.get(key, key)
-    try:
-        return _REGISTRY[key]
-    except KeyError:
-        raise UnknownSchedulerError(
-            f"unknown scheduler {name!r}; available: {available_schedulers()}"
-        ) from None
+    return _REGISTRY.resolve(name)
 
 
-def create_scheduler(name: str, **kwargs) -> Scheduler:
+def create_scheduler(name: str, **kwargs: Any) -> Scheduler:
     """Instantiate a scheduler by registry name with policy kwargs."""
-    klass = scheduler_class(name)
-    try:
-        return klass(**kwargs)
-    except TypeError as exc:
-        raise ConfigurationError(
-            f"bad parameters for scheduler {name!r}: {exc}"
-        ) from exc
+    return _REGISTRY.create(name, **kwargs)
 
 
 def available_schedulers(mode: SchedulingMode | None = None) -> list[str]:
     """Registered scheduler names, optionally filtered by mode."""
-    names = [
-        name
-        for name, klass in _REGISTRY.items()
-        if mode is None or klass.mode is mode
-    ]
-    return sorted(names)
+    if mode is None:
+        return _REGISTRY.names()
+    return _REGISTRY.names(lambda klass: klass.mode is mode)

@@ -1,0 +1,139 @@
+"""The generic NameRegistry both plug-in registries are instances of."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, UnknownSchedulerError
+from repro.core.registry import NameRegistry
+
+
+class Base:
+    name = ""
+
+
+def make_registry(**kwargs):
+    defaults = dict(kind="widget", not_found_error=UnknownSchedulerError)
+    defaults.update(kwargs)
+    return NameRegistry(**defaults)
+
+
+class TestNameRegistry:
+    def test_register_resolve_create(self):
+        registry = make_registry()
+
+        @registry.register(aliases=("ALT",))
+        class Widget(Base):
+            name = "W1"
+
+            def __init__(self, *, knob=0):
+                self.knob = knob
+
+        assert registry.resolve("w1") is Widget
+        assert registry.resolve("alt") is Widget
+        assert registry.create("W1", knob=3).knob == 3
+        assert registry.names() == ["W1"]
+
+    def test_unknown_name_uses_configured_error_and_kind(self):
+        registry = make_registry(kind="widget", kind_full="widget policy")
+        with pytest.raises(UnknownSchedulerError, match="widget policy"):
+            registry.resolve("NOPE")
+
+    def test_bad_parameters_wrapped(self):
+        registry = make_registry()
+
+        @registry.register
+        class Widget(Base):
+            name = "W2"
+
+        with pytest.raises(ConfigurationError, match="bad parameters"):
+            registry.create("W2", bogus=1)
+
+    def test_duplicate_name_rejected_but_reregistration_idempotent(self):
+        registry = make_registry()
+
+        @registry.register
+        class Widget(Base):
+            name = "W3"
+
+        registry.register(Widget)  # same class again: fine
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+
+            @registry.register
+            class Impostor(Base):
+                name = "W3"
+
+    def test_custom_canonicaliser(self):
+        registry = make_registry(
+            canonicalise=lambda n: n.upper().replace("-", "_")
+        )
+
+        @registry.register
+        class Widget(Base):
+            name = "TWO_PART"
+
+        assert registry.resolve("two-part") is Widget
+
+    def test_alias_collision_with_name_rejected(self):
+        registry = make_registry()
+
+        @registry.register
+        class Widget(Base):
+            name = "W4"
+
+        with pytest.raises(ConfigurationError, match="collides"):
+
+            @registry.register(aliases=("W4",))
+            class Other(Base):
+                name = "W5"
+
+    def test_alias_retarget_rejected(self):
+        registry = make_registry()
+
+        @registry.register(aliases=("SHARED",))
+        class Widget(Base):
+            name = "W6"
+
+        with pytest.raises(ConfigurationError, match="already points"):
+
+            @registry.register(aliases=("SHARED",))
+            class Other(Base):
+                name = "W7"
+
+    def test_nameless_rejected(self):
+        registry = make_registry()
+        with pytest.raises(ConfigurationError, match="non-empty"):
+
+            @registry.register
+            class Nameless(Base):
+                name = ""
+
+    def test_predicate_filter(self):
+        registry = make_registry()
+
+        @registry.register
+        class A(Base):
+            name = "A"
+            flavour = "x"
+
+        @registry.register
+        class B(Base):
+            name = "B"
+            flavour = "y"
+
+        assert registry.names(lambda k: k.flavour == "y") == ["B"]
+
+
+class TestBothRegistriesShareTheImplementation:
+    def test_scheduler_and_gateway_registries_are_namereg_instances(self):
+        import repro.scheduling.federation.registry as gateway_registry
+        import repro.scheduling.registry as scheduler_registry
+
+        assert isinstance(scheduler_registry._REGISTRY, NameRegistry)
+        assert isinstance(gateway_registry._REGISTRY, NameRegistry)
+
+    def test_gateway_error_wording_preserved(self):
+        from repro.core.errors import UnknownGatewayError
+        from repro.scheduling.federation.registry import gateway_class
+
+        with pytest.raises(UnknownGatewayError, match="gateway policy"):
+            gateway_class("NOPE")

@@ -1,7 +1,9 @@
 """Golden-metrics determinism: pinned SummaryMetrics for preset scenarios.
 
 These tests freeze the *exact* numeric output of several registered presets
-(two single-cluster, one failure-enabled, one federated) at fixed seeds. Their purpose is to make hot-path refactors falsifiable: any
+(two single-cluster, one failure-enabled, two federated — one of them with
+contended WAN links) at fixed seeds. Their purpose is to make hot-path
+refactors falsifiable: any
 change to event ordering, floating-point evaluation order, RNG consumption,
 or metrics aggregation that alters simulation results — however slightly —
 fails here with a precise diff, instead of silently shifting every figure
@@ -133,6 +135,47 @@ GOLDEN_EDGE_CLOUD_ROUTING = {
     "cloud": {"edge": 0, "cloud": 0},
 }
 
+#: fed_congested preset: contended WAN links (FIFO + processor sharing)
+#: with per-link energy, under the congestion-aware EET_AWARE_REMOTE.
+GOLDEN_FED_CONGESTED_GLOBAL = {
+    "total_tasks": 800,
+    "completed": 627,
+    "cancelled": 0,
+    "missed": 173,
+    "completion_rate": 0.78375,
+    "cancellation_rate": 0.0,
+    "miss_rate": 0.21625,
+    "on_time": 627,
+    "on_time_rate": 0.78375,
+    "makespan": 344.25926907998087,
+    "total_energy": 371360.1892161525,
+    "idle_energy": 19415.676667335145,
+    "busy_energy": 351944.5125488173,
+    "energy_per_completed_task": 592.2810035345334,
+    "mean_wait_time": 15.885799988162992,
+    "mean_response_time": 21.384953252637658,
+    "throughput": 1.5340254484664446,
+    "mean_utilization": 0.7768407693780794,
+    "fairness_index": 0.9614600596725863,
+    "completion_rate[model_update]": 1.0,
+    "completion_rate[sensor_fusion]": 0.6279569892473118,
+    "completion_rate[video_analytics]": 1.0,
+}
+GOLDEN_FED_CONGESTED_EVENTS = 3473
+GOLDEN_FED_CONGESTED_END_TIME = 408.728551815622
+GOLDEN_FED_CONGESTED_ROUTING = {
+    "edge_a": {"edge_a": 106, "edge_b": 96, "cloud": 200},
+    "edge_b": {"edge_a": 61, "edge_b": 71, "cloud": 266},
+    "cloud": {"edge_a": 0, "edge_b": 0, "cloud": 0},
+}
+GOLDEN_FED_CONGESTED_WAN_TIME = 2031.877173827545
+#: Per-link (delivered, busy_time, transfer_energy) triples.
+GOLDEN_FED_CONGESTED_LINKS = {
+    "edge_a<->cloud": (200, 252.875, 708.0499999999997),
+    "edge_a<->edge_b": (157, 2.1499999999992276, 15.050000000000036),
+    "edge_b<->cloud": (266, 260.93749999999994, 730.6249999999985),
+}
+
 
 def _assert_exact(actual: dict, expected: dict) -> None:
     assert set(actual) == set(expected)
@@ -209,6 +252,55 @@ class TestGoldenEdgeCloudFederated:
     def test_routing_matrix_exact(self, result):
         assert result.routing == GOLDEN_EDGE_CLOUD_ROUTING
         assert result.offloaded == 626
+
+
+class TestGoldenFedCongested:
+    """Contended-WAN federated preset pinned: FIFO + PS link timing, link
+    energy, and the congestion-aware gateway's routing are all frozen."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_scenario("fed_congested").run()
+
+    def test_summary_exact(self, result):
+        _assert_exact(result.summary.as_dict(), GOLDEN_FED_CONGESTED_GLOBAL)
+
+    def test_event_count_and_end_time_exact(self, result):
+        assert result.events_processed == GOLDEN_FED_CONGESTED_EVENTS
+        assert result.end_time == GOLDEN_FED_CONGESTED_END_TIME
+
+    def test_routing_and_wan_time_exact(self, result):
+        assert result.routing == GOLDEN_FED_CONGESTED_ROUTING
+        assert result.wan_time_total == GOLDEN_FED_CONGESTED_WAN_TIME
+
+    def test_link_usage_exact(self, result):
+        observed = {
+            label: (usage.delivered, usage.busy_time, usage.transfer_energy)
+            for label, usage in result.wan_links.items()
+        }
+        assert observed == GOLDEN_FED_CONGESTED_LINKS
+
+    def test_energy_rollup_identity(self, result):
+        # Global machine energy == sum of per-cluster energies, and the
+        # federation total == machines + every link's energy account.
+        per_cluster = sum(
+            s.total_energy for s in result.per_cluster.values()
+        )
+        assert result.summary.total_energy == pytest.approx(per_cluster)
+        per_link = sum(u.total_energy for u in result.wan_links.values())
+        assert result.total_energy_with_wan == pytest.approx(
+            per_cluster + per_link
+        )
+        assert result.wan_energy_total == pytest.approx(per_link)
+
+    def test_energy_split_accounts_every_completed_task(self, result):
+        split = result.energy_split
+        assert (
+            split.local_completed + split.offloaded_completed
+            == result.summary.completed
+        )
+        assert split.wan_transfer_energy > 0
+        assert split.energy_per_offloaded_task > split.energy_per_local_task
 
 
 class TestConservation:

@@ -1,0 +1,80 @@
+"""The teaching docs cannot rot: links resolve, snippets run.
+
+Tier-1 twin of the CI docs job: the Markdown link/fence checker
+(``tools/check_docs.py``) plus a real doctest pass over the runnable
+``>>>`` snippets in README.md and docs/FEDERATION.md — the same numbers CI
+re-executes with ``python -m doctest``.
+"""
+
+import doctest
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestDocsChecker:
+    def test_check_docs_passes(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_docs.py")],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert proc.stdout.startswith("OK:")
+
+    def test_checker_catches_broken_links(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "see [missing](docs/NOPE.md)\n", encoding="utf-8"
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "check_docs.py"),
+                "--root",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "broken link" in proc.stdout
+
+    def test_checker_catches_vanished_doctests(self, tmp_path):
+        # A README without any >>> snippet must fail the gate, not pass
+        # vacuously.
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text("no snippets\n", encoding="utf-8")
+        (tmp_path / "docs" / "FEDERATION.md").write_text(
+            "none here either\n", encoding="utf-8"
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "check_docs.py"),
+                "--root",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "doctest" in proc.stdout
+
+
+@pytest.mark.parametrize(
+    "document", ["README.md", "docs/FEDERATION.md"], ids=["readme", "guide"]
+)
+def test_doctest_snippets_execute(document):
+    results = doctest.testfile(
+        str(REPO / document), module_relative=False, verbose=False
+    )
+    assert results.attempted > 0, f"{document}: no doctest examples found"
+    assert results.failed == 0, (
+        f"{document}: {results.failed}/{results.attempted} doctest "
+        "example(s) failed — the documented outputs no longer match the code"
+    )

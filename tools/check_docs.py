@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Link-check the Markdown docs and syntax-check their fenced Python.
+
+Teaching docs rot in two ways: cross-references break when files move, and
+code blocks drift from the API they demonstrate. This checker catches both
+cheaply, and CI runs it (plus ``python -m doctest`` over README.md and
+docs/FEDERATION.md for the ``>>>`` snippets, whose *outputs* must match):
+
+1. Every relative Markdown link ``[text](target)`` in the repo's root and
+   ``docs/`` Markdown files must point at an existing file or directory
+   (URL fragments are stripped; ``http(s):``/``mailto:`` links are not
+   checked — no network in CI).
+2. Every fenced ```` ```python ```` block must at least *compile*. Blocks
+   written as interactive sessions (``>>>``) are skipped here; doctest
+   executes those for real.
+
+Usage::
+
+    python tools/check_docs.py            # check the repo it lives in
+    python tools/check_docs.py --root DIR # check another tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import doctest
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """The docs we gate: root-level *.md plus everything under docs/."""
+    files = sorted(root.glob("*.md"))
+    files += sorted((root / "docs").glob("**/*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(path: Path, root: Path) -> list[str]:
+    """Broken relative links in one Markdown file."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(root)}: broken link '{target}' "
+                f"(no such file: {relative})"
+            )
+    return errors
+
+
+def check_python_fences(path: Path, root: Path) -> list[str]:
+    """Fenced python blocks that do not even compile."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for i, match in enumerate(FENCE_RE.finditer(text), start=1):
+        block = match.group(1)
+        if ">>>" in block:
+            continue  # interactive session: doctest executes it for real
+        try:
+            compile(block, f"<{path.name} python block {i}>", "exec")
+        except SyntaxError as exc:
+            errors.append(
+                f"{path.relative_to(root)}: python block {i} does not "
+                f"compile: {exc}"
+            )
+    return errors
+
+
+def count_doctests(path: Path) -> int:
+    """Number of ``>>>`` examples doctest would run over this file."""
+    parser = doctest.DocTestParser()
+    examples = parser.get_examples(path.read_text(encoding="utf-8"))
+    return len(examples)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parents[1],
+        help="repository root to check (default: this repo)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    errors: list[str] = []
+    checked_links = 0
+    for path in markdown_files(root):
+        errors += check_links(path, root)
+        errors += check_python_fences(path, root)
+        checked_links += len(LINK_RE.findall(path.read_text(encoding="utf-8")))
+
+    # The doctest gate only bites if the snippets exist: losing them all to
+    # an over-eager edit should fail loudly, not pass vacuously.
+    for doc, minimum in (("README.md", 1), (Path("docs") / "FEDERATION.md", 5)):
+        path = root / doc
+        if not path.exists():
+            errors.append(f"{doc}: missing (doctest-gated document)")
+        elif count_doctests(path) < minimum:
+            errors.append(
+                f"{doc}: expected at least {minimum} doctest example(s); "
+                "the runnable snippets have been removed"
+            )
+
+    if errors:
+        print(f"FAIL: {len(errors)} documentation problem(s):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    files = markdown_files(root)
+    print(
+        f"OK: {len(files)} Markdown files, {checked_links} links checked, "
+        "all python fences compile, doctest snippets present"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
