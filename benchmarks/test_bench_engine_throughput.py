@@ -143,6 +143,35 @@ def test_bench_contended_wan_throughput(benchmark, results_dir):
     assert events_per_sec > 1000
 
 
+def test_bench_migration_throughput(benchmark, results_dir):
+    """Migration tier: the fed_rebalance preset, where a periodic rebalance
+    pass evicts queued tasks and ships them over a contended FIFO uplink —
+    every tick snapshots batch queues, runs the eviction policy, and every
+    migration exercises the link state machine plus the in-flight
+    cancellation path. Guards the rebalancer overhead: mid-queue migration
+    must not knock the federated engine out of its throughput envelope."""
+    scenario = build_scenario("fed_rebalance")
+    result = benchmark.pedantic(
+        scenario.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    events_per_sec = result.events_processed / benchmark.stats["mean"]
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    stats = result.migration_stats
+    record_result_line(
+        results_dir / "engine_throughput.txt",
+        "migration tier (2 sites, mid-queue rebalancing)",
+        f"{result.events_processed} events, "
+        f"{result.summary.total_tasks} tasks, "
+        f"{stats.attempted} migrations, "
+        f"{events_per_sec:,.0f} events/s",
+    )
+    assert result.summary.total_tasks > 500
+    assert stats.attempted > 0
+    assert stats.attempted == stats.delivered + stats.cancelled_in_flight
+    assert events_per_sec > 1000
+
+
 def test_bench_scale_tier_throughput(benchmark, results_dir):
     """Scale tier: 96 machines, ~11k tasks — the registered scale_campus
     preset, run once per round (the workload is large enough that a single

@@ -66,6 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(LOCALITY_FIRST, LEAST_LOADED, EET_AWARE_REMOTE, RANDOM_SPLIT)",
     )
     run.add_argument(
+        "--migration", default=None, metavar="POLICY",
+        help="enable mid-queue migration on a federated scenario with this "
+        "eviction policy (LONGEST_WAIT, DEADLINE_SLACK, EET_GAIN); "
+        "'off' disables a preset's migration spec",
+    )
+    run.add_argument(
+        "--migration-interval", type=float, default=None, metavar="SECONDS",
+        help="with --migration: simulated seconds between rebalance passes",
+    )
+    run.add_argument(
         "--queue-size",
         type=int,
         default=None,
@@ -281,6 +291,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if args.migration is not None:
+        if args.migration.lower() in ("off", "none"):
+            if args.migration_interval is not None:
+                print(
+                    "error: --migration-interval conflicts with "
+                    "--migration off",
+                    file=sys.stderr,
+                )
+                return 2
+            scenario = scenario.with_migration(None)
+        else:
+            options = {}
+            if args.migration_interval is not None:
+                options["interval"] = args.migration_interval
+            scenario = scenario.with_migration(args.migration, **options)
+    elif args.migration_interval is not None:
+        print(
+            "error: --migration-interval requires --migration POLICY",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.animate:
         if scenario.federation is not None:
             n = len(scenario.federation.clusters)
@@ -352,23 +384,31 @@ def _cmd_schedulers(args: argparse.Namespace) -> int:
         klass = scheduler_class(name)
         print(f"{name:<10} [{klass.mode.value}] {klass.description}")
     if mode is None:
-        from .scheduling.federation import available_gateways, gateway_class
+        from .scheduling.federation import (
+            available_evictions,
+            available_gateways,
+            eviction_class,
+            gateway_class,
+        )
 
         print()
         print("gateway policies (federated scenarios, --gateway):")
         for name in available_gateways():
             gateway = gateway_class(name)
             print(f"{name:<18} [gateway] {gateway.description}")
+        print()
+        print("eviction policies (mid-queue migration, --migration):")
+        for name in available_evictions():
+            eviction = eviction_class(name)
+            print(f"{name:<18} [eviction] {eviction.description}")
     return 0
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
-    from .scenarios import available_scenarios, scenario_factory
+    from .scenarios import scenario_summaries
 
-    for name in available_scenarios():
-        doc = (scenario_factory(name).__doc__ or "").strip().splitlines()
-        first_line = doc[0] if doc else ""
-        print(f"{name:<24} {first_line}")
+    for name, summary in scenario_summaries():
+        print(f"{name:<24} {summary}")
     return 0
 
 

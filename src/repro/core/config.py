@@ -484,6 +484,41 @@ class Scenario:
             self, federation=federation, name=f"{self.name}~{gateway}"
         )
 
+    def with_migration(self, policy: str | None, **options) -> "Scenario":
+        """Copy of this federated scenario with mid-queue migration set.
+
+        ``policy`` is a registered eviction-policy name (``LONGEST_WAIT``,
+        ``DEADLINE_SLACK``, ``EET_GAIN``, ...); ``options`` are
+        :class:`~repro.federation.spec.MigrationSpec` fields (``interval``,
+        ``pressure_gap``, ``batch_max``, ``min_queue``, ``policy_params``).
+        Pass ``policy=None`` to disable migration on a preset that enables
+        it by default.
+        """
+        from dataclasses import replace
+
+        from ..federation.spec import MigrationSpec
+
+        if self.federation is None:
+            raise ConfigurationError(
+                "with_migration requires a federated scenario "
+                "(the 'federation' field is not set)"
+            )
+        if policy is None:
+            if options:
+                raise ConfigurationError(
+                    "with_migration(None) disables migration and accepts "
+                    f"no options, got {sorted(options)}"
+                )
+            spec = None
+            suffix = "-migration"
+        else:
+            spec = MigrationSpec(policy=policy, **options)
+            suffix = f"+{spec.policy}"
+        federation = replace(self.federation, migration=spec)
+        return replace(
+            self, federation=federation, name=f"{self.name}{suffix}"
+        )
+
     def with_intensity(self, intensity: str | float) -> "Scenario":
         """Copy with a different generator intensity (low/medium/high sweeps)."""
         if self.generator is None:

@@ -17,6 +17,7 @@ __all__ = [
     "SchedulingError",
     "UnknownSchedulerError",
     "UnknownGatewayError",
+    "UnknownEvictionPolicyError",
     "UnknownScenarioError",
     "SimulationStateError",
     "ReportError",
@@ -58,6 +59,10 @@ class UnknownSchedulerError(SchedulingError, KeyError):
 
 class UnknownGatewayError(SchedulingError, KeyError):
     """Requested gateway (inter-cluster offloading) policy is not registered."""
+
+
+class UnknownEvictionPolicyError(SchedulingError, KeyError):
+    """Requested migration eviction policy is not present in the registry."""
 
 
 class UnknownScenarioError(ConfigurationError, KeyError):

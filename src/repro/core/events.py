@@ -29,6 +29,7 @@ class EventType(enum.Enum):
     NETWORK_DELIVERY = "network_delivery"
     LINK_TRANSFER = "link_transfer"
     TASK_ARRIVAL = "task_arrival"
+    TASK_MIGRATION = "task_migration"
     TASK_DEADLINE = "task_deadline"
     MACHINE_FAILURE = "machine_failure"
     CONTROL = "control"
@@ -41,6 +42,10 @@ class EventType(enum.Enum):
 #: Repairs precede arrivals (an arrival at the repair instant sees the
 #: machine up); WAN link transfers precede arrivals (a task routed onto a
 #: link at the instant a serialization finishes sees the link free);
+#: migrations follow arrivals (a rebalance pass at an arrival instant sees
+#: the freshly-queued task; a migrated task delivered alongside a local
+#: arrival queues behind it) but precede deadlines (a task migrated and
+#: expiring at the same instant is swept at its destination, not lost);
 #: failures follow deadlines (a task completing or expiring at the failure
 #: instant resolves before the machine dies).
 EVENT_PRIORITY: dict[EventType, int] = {
@@ -49,9 +54,10 @@ EVENT_PRIORITY: dict[EventType, int] = {
     EventType.NETWORK_DELIVERY: 2,
     EventType.LINK_TRANSFER: 3,
     EventType.TASK_ARRIVAL: 4,
-    EventType.TASK_DEADLINE: 5,
-    EventType.MACHINE_FAILURE: 6,
-    EventType.CONTROL: 7,
+    EventType.TASK_MIGRATION: 5,
+    EventType.TASK_DEADLINE: 6,
+    EventType.MACHINE_FAILURE: 7,
+    EventType.CONTROL: 8,
 }
 
 # Mirror the priority table onto the members: Event.__init__ runs for every

@@ -72,6 +72,11 @@ def _execute_cell(cell: RunSpec) -> "RunRecord":
             "energy_per_local_task": split.energy_per_local_task,
             "energy_per_offloaded_task": split.energy_per_offloaded_task,
         }
+        stats = result.migration_stats
+        if stats.attempted:
+            # Mid-queue migration ran: carry its conservation + energy
+            # account so campaigns can sweep eviction policies.
+            extras.update(stats.as_dict())
     return RunRecord(
         scenario=cell.label,
         scheduler=cell.scheduler,
@@ -89,7 +94,8 @@ class RunRecord:
     ``extras`` carries result-level metrics that live outside
     :class:`~repro.metrics.collector.SummaryMetrics` — today the federated
     offloading/WAN-energy figures (offload rate, WAN time and energy, the
-    edge-vs-cloud energy-per-completed-task split); empty for
+    edge-vs-cloud energy-per-completed-task split) plus, when mid-queue
+    migration ran, the migration conservation/energy account; empty for
     single-cluster runs.
     """
 

@@ -11,17 +11,26 @@ clusters over an :class:`~repro.net.topology.InterClusterTopology` of WAN
 links. The canonical heterogeneous-computing scenarios this unlocks —
 edge-cloud offloading, geo-distributed sites, hierarchical scheduling —
 ship as presets in :mod:`repro.scenarios.federated`.
+
+Mid-queue migration (:mod:`repro.federation.migration`) extends the
+gateway's one-shot routing: when a :class:`~repro.federation.spec.MigrationSpec`
+is set, a periodic :class:`~repro.federation.migration.Rebalancer` evicts
+tasks from saturated shards' batch queues and re-homes them over the same
+contended WAN channels offloads use.
 """
 
+from .migration import Rebalancer
 from .result import FederatedSimulationResult
 from .shard import ClusterShard
 from .simulator import FederatedSimulator
-from .spec import ClusterSpec, FederationSpec
+from .spec import ClusterSpec, FederationSpec, MigrationSpec
 
 __all__ = [
     "ClusterSpec",
     "FederationSpec",
+    "MigrationSpec",
     "ClusterShard",
     "FederatedSimulator",
     "FederatedSimulationResult",
+    "Rebalancer",
 ]

@@ -16,7 +16,7 @@ from typing import Any, Mapping
 from ..metrics.collector import SummaryMetrics
 from ..metrics.energy import EnergyBreakdown
 from ..metrics.reports import ReportBundle
-from ..metrics.rollup import OffloadEnergySplit
+from ..metrics.rollup import MigrationStats, OffloadEnergySplit
 from ..net.wan import LinkUsage
 
 __all__ = ["FederatedSimulationResult"]
@@ -34,6 +34,13 @@ class FederatedSimulationResult:
     (``summary.total_energy``, ``energy``) and WAN energy
     (``wan_energy_total``) are disjoint accounts;
     ``total_energy_with_wan`` is their sum.
+
+    ``migrations`` is the mid-queue migration matrix (source × destination
+    eviction counters, empty when migration is off) and
+    ``migration_stats`` its conservation + energy account
+    (:class:`~repro.metrics.rollup.MigrationStats`): every evicted task is
+    either delivered or cancelled in flight, and completed migrated tasks
+    carry an execution + migration-WAN energy split.
     """
 
     summary: SummaryMetrics
@@ -52,6 +59,8 @@ class FederatedSimulationResult:
     energy_split: OffloadEnergySplit = field(
         default_factory=lambda: OffloadEnergySplit(0, 0, 0.0, 0.0, 0.0)
     )
+    migrations: dict[str, dict[str, int]] = field(default_factory=dict)
+    migration_stats: MigrationStats = field(default_factory=MigrationStats)
 
     @property
     def reports(self) -> ReportBundle:
@@ -69,6 +78,17 @@ class FederatedSimulationResult:
         """Fraction of routed tasks sent to a non-origin cluster."""
         total = self.summary.total_tasks
         return self.offloaded / total if total else 0.0
+
+    @property
+    def migrated(self) -> int:
+        """Mid-queue migrations attempted (evictions shipped into the WAN)."""
+        return self.migration_stats.attempted
+
+    @property
+    def migration_rate(self) -> float:
+        """Migrations attempted per workload task (>1 moves can repeat)."""
+        total = self.summary.total_tasks
+        return self.migrated / total if total else 0.0
 
     # -- WAN energy views ---------------------------------------------------------
 
@@ -118,6 +138,18 @@ class FederatedSimulationResult:
             f"({self.offload_rate:.1%}), total WAN transfer time "
             f"{self.wan_time_total:.2f} s",
         ]
+        stats = self.migration_stats
+        if stats.attempted:
+            lines += [
+                "",
+                _routing_table_text(self.migrations, corner="migrated > dst"),
+                f"migrated: {stats.attempted} evictions "
+                f"({stats.delivered} delivered, "
+                f"{stats.cancelled_in_flight} cancelled in flight); "
+                f"{stats.completed} completed after migrating "
+                f"at {stats.energy_per_migrated_task:.2f} J/task "
+                f"(incl. {stats.migration_wan_energy:.1f} J migration WAN)",
+            ]
         if self.wan_links:
             lines += ["", _wan_table(self.wan_links, self.end_time)]
         split = self.energy_split
@@ -175,10 +207,11 @@ def _wan_table(wan_links: Mapping[str, LinkUsage], end_time: float) -> str:
     return "\n".join(rows)
 
 
-def _routing_table_text(routing: Mapping[str, Mapping[str, int]]) -> str:
+def _routing_table_text(
+    routing: Mapping[str, Mapping[str, int]], corner: str = "origin > dst"
+) -> str:
     names = list(routing)
     width = max([len(n) for n in names] + [7])
-    corner = "origin > dst"
     header = (
         f"{corner:<{width + 2}} " + " ".join(f"{n:>{width}}" for n in names)
     )

@@ -19,6 +19,13 @@ Routing uses the ``cluster`` id stamped on every event: shard-scheduled
 events (completions, deliveries, failures, repairs) carry their shard index
 and go straight back to the owning shard's handlers; federation-level events
 (initial arrivals, deadlines) carry ``None`` and are handled here.
+
+When the spec carries a :class:`~repro.federation.spec.MigrationSpec`, a
+:class:`~repro.federation.migration.Rebalancer` additionally re-homes tasks
+*mid-queue*: periodic ``TASK_MIGRATION`` ticks (``cluster=None``) evict
+tasks from saturated shards' batch queues and ship them over the same WAN
+channels offloads use; the resulting deliveries are ``TASK_MIGRATION``
+events carrying the destination shard id.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from ..machines.machine_queue import UNBOUNDED
 from ..machines.power import PowerProfile
 from ..metrics.collector import SummaryMetrics
 from ..metrics.rollup import (
+    MigrationStats,
     global_energy,
     global_summary,
     offload_energy_split,
@@ -53,6 +61,7 @@ from ..scheduling.overhead import SchedulingOverhead
 from ..scheduling.registry import create_scheduler
 from ..tasks.task import Task, TaskStatus
 from ..tasks.workload import Workload
+from .migration import Rebalancer
 from .result import FederatedSimulationResult
 from .shard import ClusterShard
 from .spec import FederationSpec
@@ -176,6 +185,14 @@ class FederatedSimulator:
         # the cancellation handles for tasks still crossing the WAN.
         self._wan = WanManager(self.topology, self.events, spec.names)
         self._transfers: dict[int, WanTransfer] = {}
+        # Mid-queue migration: a periodic rebalance pass sharing the WAN
+        # channels above. None when the spec does not ask for it — the
+        # event stream is then bit-identical to a migration-free build.
+        self._rebalancer = (
+            Rebalancer(self, spec.migration)
+            if spec.migration is not None
+            else None
+        )
         self._events_processed = 0
         self._finished = False
         self._result: FederatedSimulationResult | None = None
@@ -209,6 +226,8 @@ class FederatedSimulator:
             if failure_model is not None:
                 for shard in self.shards:
                     shard.start_failure_process()
+            if self._rebalancer is not None:
+                self._rebalancer.schedule_first_tick()
 
     # -- public control surface ----------------------------------------------------
 
@@ -228,6 +247,20 @@ class FederatedSimulator:
     def recorded(self) -> int:
         """Terminal tasks across all shards."""
         return sum(shard.collector.recorded for shard in self.shards)
+
+    @property
+    def wan(self) -> WanManager:
+        """Live WAN link state (shared by gateway offloads and migrations)."""
+        return self._wan
+
+    @property
+    def rebalancer(self) -> Rebalancer | None:
+        """The mid-queue migration engine, when the spec enables one."""
+        return self._rebalancer
+
+    def track_transfer(self, transfer: WanTransfer) -> None:
+        """Keep the cancellation handle for a task crossing the WAN."""
+        self._transfers[transfer.task.id] = transfer
 
     def all_tasks_terminal(self) -> bool:
         """True once every workload task reached a terminal state."""
@@ -308,6 +341,10 @@ class FederatedSimulator:
                 # A WAN serialisation milestone: the owning link channel
                 # frees the pipe, delivers, and starts whatever is queued.
                 WanManager.on_link_event(event, self.now)
+            elif event.type is EventType.TASK_MIGRATION:
+                # The rebalance clock: run one mid-queue migration pass.
+                if self._rebalancer is not None:
+                    self._rebalancer.on_tick(self.now)
             elif event.type is EventType.CONTROL:  # pragma: no cover - hook
                 pass
             else:  # pragma: no cover - defensive
@@ -320,6 +357,19 @@ class FederatedSimulator:
             if transfer is not None:
                 self._wan.on_delivered(transfer, self.now)
             self.shards[cluster_id]._on_arrival(event.payload)
+        elif event.type is EventType.TASK_MIGRATION:
+            # A migrated task survived the WAN: re-enqueue at its new home.
+            task = event.payload
+            transfer = self._transfers.pop(task.id, None)
+            if transfer is None:  # pragma: no cover - defensive
+                raise SimulationStateError(
+                    f"migration delivery for task {task.id} without a "
+                    "tracked WAN transfer"
+                )
+            self._wan.on_delivered(transfer, self.now)
+            assert self._rebalancer is not None
+            self._rebalancer.record_delivered(task, transfer)
+            self.shards[cluster_id]._on_arrival(task)
         else:
             self.shards[cluster_id]._dispatch(event)
 
@@ -367,10 +417,18 @@ class FederatedSimulator:
             # is cancelled (deadline before any mapping decision), accounted
             # to its destination cluster. The link channel reclaims the pipe
             # for queued transfers and charges only the payload fraction
-            # that actually crossed.
+            # that actually crossed. Offloads and migrations share this
+            # path; migrations additionally bump the rebalancer's
+            # cancelled-in-flight counter so attempted == delivered +
+            # cancelled holds at the end of the run.
             transfer = self._transfers.pop(task.id, None)
             if transfer is not None:
                 self._wan.cancel(transfer, self.now)
+                if (
+                    transfer.kind is EventType.TASK_MIGRATION
+                    and self._rebalancer is not None
+                ):
+                    self._rebalancer.record_cancelled(task)
             task.cancel(self.now)
             shard.collector.record_terminal(task)
             shard.type_stats.record(task.task_type.name, False)
@@ -419,6 +477,12 @@ class FederatedSimulator:
         all_tasks: list[Task] = []
         for shard in self.shards:
             all_tasks.extend(shard.collector.tasks())
+        if self._rebalancer is not None:
+            migrations = self._rebalancer.matrix()
+            mig_stats = self._rebalancer.stats(all_tasks)
+        else:
+            migrations = {}
+            mig_stats = MigrationStats()
         return FederatedSimulationResult(
             summary=summary,
             per_cluster=per_cluster,
@@ -436,6 +500,8 @@ class FederatedSimulator:
             energy_split=offload_energy_split(
                 all_tasks, names, self.topology
             ),
+            migrations=migrations,
+            migration_stats=mig_stats,
         )
 
     # -- renderer-facing state -----------------------------------------------------------

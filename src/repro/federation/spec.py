@@ -16,7 +16,107 @@ from typing import Any, Mapping
 from ..core.errors import ConfigurationError
 from ..net.topology import InterClusterTopology
 
-__all__ = ["ClusterSpec", "FederationSpec"]
+__all__ = ["ClusterSpec", "MigrationSpec", "FederationSpec"]
+
+
+@dataclass
+class MigrationSpec:
+    """Mid-queue cross-cluster migration: when and what to rebalance.
+
+    When set on a :class:`FederationSpec`, the federated simulator runs a
+    periodic rebalance pass (every ``interval`` simulated seconds): for each
+    cluster whose batch queue holds at least ``min_queue`` tasks and whose
+    pressure exceeds the least-loaded remote cluster's by at least
+    ``pressure_gap``, up to ``batch_max`` tasks are evicted (chosen by the
+    registered eviction ``policy``) and shipped over the WAN — contending
+    with ordinary offloads for the same link channels and paying the same
+    per-megabyte energy.
+
+    Attributes
+    ----------
+    policy / policy_params:
+        Registered eviction policy (see
+        :mod:`repro.scheduling.federation.eviction`): ``LONGEST_WAIT``,
+        ``DEADLINE_SLACK``, ``EET_GAIN``, or your own.
+    interval:
+        Simulated seconds between rebalance passes (> 0).
+    pressure_gap:
+        Minimum source-minus-destination pressure difference (outstanding
+        tasks per live machine) before any eviction happens; the damping
+        knob between "never migrate" (large) and thrashing (zero).
+    batch_max:
+        Maximum tasks evicted per source cluster per pass.
+    min_queue:
+        Sources with fewer batch-queued tasks than this are left alone.
+    """
+
+    policy: str = "LONGEST_WAIT"
+    policy_params: dict[str, Any] = field(default_factory=dict)
+    interval: float = 20.0
+    pressure_gap: float = 1.0
+    batch_max: int = 4
+    min_queue: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.policy:
+            raise ConfigurationError("migration policy must be non-empty")
+        if not self.interval > 0:
+            raise ConfigurationError(
+                f"migration interval must be > 0, got {self.interval}"
+            )
+        if self.pressure_gap < 0:
+            raise ConfigurationError(
+                f"pressure_gap must be >= 0, got {self.pressure_gap}"
+            )
+        if self.batch_max < 1:
+            raise ConfigurationError(
+                f"batch_max must be >= 1, got {self.batch_max}"
+            )
+        if self.min_queue < 1:
+            raise ConfigurationError(
+                f"min_queue must be >= 1, got {self.min_queue}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (omits empty policy params)."""
+        out: dict[str, Any] = {
+            "policy": self.policy,
+            "interval": self.interval,
+            "pressure_gap": self.pressure_gap,
+            "batch_max": self.batch_max,
+            "min_queue": self.min_queue,
+        }
+        if self.policy_params:
+            out["policy_params"] = dict(self.policy_params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MigrationSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"migration spec must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        unknown = set(data) - {
+            "policy",
+            "policy_params",
+            "interval",
+            "pressure_gap",
+            "batch_max",
+            "min_queue",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"migration spec has unknown key(s) {sorted(unknown)}"
+            )
+        return cls(
+            policy=str(data.get("policy", "LONGEST_WAIT")),
+            policy_params=dict(data.get("policy_params", {})),
+            interval=float(data.get("interval", 20.0)),
+            pressure_gap=float(data.get("pressure_gap", 1.0)),
+            batch_max=int(data.get("batch_max", 4)),
+            min_queue=int(data.get("min_queue", 2)),
+        )
 
 
 @dataclass
@@ -127,18 +227,26 @@ class FederationSpec:
         Inter-cluster WAN links; offloaded tasks pay
         ``topology.wan_delay(origin, destination, task.data_in)`` before
         entering the destination's batch queue.
+    migration:
+        Mid-queue migration configuration (:class:`MigrationSpec`), or
+        ``None`` (the default) for arrival-time-only routing.
     """
 
     clusters: list[ClusterSpec]
     gateway: str = "LEAST_LOADED"
     gateway_params: dict[str, Any] = field(default_factory=dict)
     topology: InterClusterTopology = field(default_factory=InterClusterTopology)
+    migration: MigrationSpec | None = None
 
     def __post_init__(self) -> None:
         self.clusters = [
             c if isinstance(c, ClusterSpec) else ClusterSpec.from_dict(c)
             for c in self.clusters
         ]
+        if self.migration is not None and not isinstance(
+            self.migration, MigrationSpec
+        ):
+            self.migration = MigrationSpec.from_dict(self.migration)
         if not self.clusters:
             raise ConfigurationError("a federation needs at least one cluster")
         names = [c.name for c in self.clusters]
@@ -191,12 +299,15 @@ class FederationSpec:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form of the whole federation."""
-        return {
+        out: dict[str, Any] = {
             "clusters": [c.to_dict() for c in self.clusters],
             "gateway": self.gateway,
             "gateway_params": dict(self.gateway_params),
             "topology": self.topology.to_dict(),
         }
+        if self.migration is not None:
+            out["migration"] = self.migration.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "FederationSpec":
@@ -212,6 +323,7 @@ class FederationSpec:
                 "federation spec is missing required key 'clusters'"
             ) from None
         topology = data.get("topology")
+        migration = data.get("migration")
         return cls(
             clusters=[ClusterSpec.from_dict(c) for c in clusters],
             gateway=str(data.get("gateway", "LEAST_LOADED")),
@@ -220,5 +332,8 @@ class FederationSpec:
                 InterClusterTopology()
                 if topology is None
                 else InterClusterTopology.from_dict(topology)
+            ),
+            migration=(
+                None if migration is None else MigrationSpec.from_dict(migration)
             ),
         )

@@ -12,7 +12,7 @@ derived from the gateway's routing matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..tasks.task import TaskStatus
 from .collector import MetricsCollector, SummaryMetrics
@@ -29,6 +29,8 @@ __all__ = [
     "routing_table",
     "OffloadEnergySplit",
     "offload_energy_split",
+    "MigrationStats",
+    "migration_stats",
 ]
 
 
@@ -110,6 +112,97 @@ class OffloadEnergySplit:
             "energy_per_local_task": self.energy_per_local_task,
             "energy_per_offloaded_task": self.energy_per_offloaded_task,
         }
+
+
+@dataclass(frozen=True)
+class MigrationStats:
+    """Conservation + energy account of mid-queue migrations in one run.
+
+    Every evicted task is *attempted*; it then either reaches its
+    destination's batch queue (*delivered*) or its deadline fires while it
+    is still in the WAN — queued for the link, serialising, or propagating
+    (*cancelled_in_flight*). ``attempted == delivered +
+    cancelled_in_flight`` holds at the end of every finished run: a
+    migrating task cannot be lost between clusters.
+
+    ``completed`` counts migrated tasks that eventually COMPLETED (at any
+    cluster); ``migrated_task_energy`` is their execution energy and
+    ``migration_wan_energy`` the payload joules of their migration hops —
+    together the migrated half of the energy-per-completed-task question:
+    did moving the work pay for the trip?
+    """
+
+    attempted: int = 0
+    delivered: int = 0
+    cancelled_in_flight: int = 0
+    completed: int = 0
+    migrated_task_energy: float = 0.0
+    migration_wan_energy: float = 0.0
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of evicted tasks that survived the WAN crossing."""
+        return self.delivered / self.attempted if self.attempted else 0.0
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of evicted tasks that eventually completed."""
+        return self.completed / self.attempted if self.attempted else 0.0
+
+    @property
+    def energy_per_migrated_task(self) -> float:
+        """Mean execution + migration-WAN joules per completed migrated task."""
+        if not self.completed:
+            return 0.0
+        return (
+            self.migrated_task_energy + self.migration_wan_energy
+        ) / self.completed
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat numeric form for campaign tables and reports."""
+        return {
+            "migrations_attempted": float(self.attempted),
+            "migrations_delivered": float(self.delivered),
+            "migrations_cancelled_in_flight": float(self.cancelled_in_flight),
+            "migrated_completed": float(self.completed),
+            "migrated_task_energy": self.migrated_task_energy,
+            "migration_wan_energy": self.migration_wan_energy,
+            "migration_delivery_rate": self.delivery_rate,
+            "migration_completion_rate": self.completion_rate,
+            "energy_per_migrated_task": self.energy_per_migrated_task,
+        }
+
+
+def migration_stats(
+    tasks: Sequence["Task"],
+    *,
+    attempted: int,
+    delivered: int,
+    cancelled_in_flight: int,
+    wan_energy_by_task: Mapping[int, float],
+) -> MigrationStats:
+    """Fold per-task outcomes into the run's :class:`MigrationStats`.
+
+    ``wan_energy_by_task`` maps task id → payload joules charged for that
+    task's migration hops (accumulated by the rebalancer as each migration
+    finishes serialising); only completed migrated tasks contribute to the
+    energy split, mirroring :func:`offload_energy_split`.
+    """
+    completed = 0
+    exec_e = wan_e = 0.0
+    for task in tasks:
+        if task.migrations and task.status is TaskStatus.COMPLETED:
+            completed += 1
+            exec_e += task.energy or 0.0
+            wan_e += wan_energy_by_task.get(task.id, 0.0)
+    return MigrationStats(
+        attempted=attempted,
+        delivered=delivered,
+        cancelled_in_flight=cancelled_in_flight,
+        completed=completed,
+        migrated_task_energy=exec_e,
+        migration_wan_energy=wan_e,
+    )
 
 
 def offload_energy_split(

@@ -100,6 +100,7 @@ class WanTransfer:
         "channel",
         "service_event",
         "delivery_event",
+        "kind",
     )
 
     def __init__(
@@ -109,6 +110,7 @@ class WanTransfer:
         dst_index: int,
         submitted_at: float,
         channel: "LinkChannel",
+        kind: EventType = EventType.TASK_ARRIVAL,
     ) -> None:
         self.task = task
         self.megabytes = megabytes
@@ -120,6 +122,10 @@ class WanTransfer:
         self.channel = channel
         self.service_event: Event | None = None
         self.delivery_event: Event | None = None
+        #: Event kind of the delivery (TASK_ARRIVAL for gateway offloads,
+        #: TASK_MIGRATION for mid-queue migrations); both kinds share the
+        #: link's pipe and pay the same energy — only dispatch differs.
+        self.kind = kind
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -386,7 +392,7 @@ class LinkChannel:
         transfer.delivery_event = self._events.push(
             Event(
                 now + self.link.latency,
-                EventType.TASK_ARRIVAL,
+                transfer.kind,
                 transfer.task,
                 cluster=transfer.dst_index,
             )
@@ -588,13 +594,20 @@ class WanManager:
     # -- transfer lifecycle -------------------------------------------------------------
 
     def submit(
-        self, task: "Task", origin: int, destination: int, now: float
+        self,
+        task: "Task",
+        origin: int,
+        destination: int,
+        now: float,
+        kind: EventType = EventType.TASK_ARRIVAL,
     ) -> WanTransfer | None:
-        """Route an offloaded task into the WAN.
+        """Route an offloaded (or migrated) task into the WAN.
 
-        Returns the :class:`WanTransfer` handle the federation keeps for
-        deadline cancellation, or ``None`` when the task crosses instantly
-        (zero-delay link) and was already accounted.
+        ``kind`` is the delivery event's type: ``TASK_ARRIVAL`` for gateway
+        offloads, ``TASK_MIGRATION`` for mid-queue migrations — both contend
+        for the same physical link. Returns the :class:`WanTransfer` handle
+        the federation keeps for deadline cancellation, or ``None`` when the
+        task crosses instantly (zero-delay link) and was already accounted.
         """
         src, dst = self._names[origin], self._names[destination]
         megabytes = task.task_type.data_in
@@ -606,18 +619,20 @@ class WanManager:
                 channel.record_instant(megabytes)
                 return None
             self.total_time += delay
-            transfer = WanTransfer(task, megabytes, destination, now, channel)
+            transfer = WanTransfer(
+                task, megabytes, destination, now, channel, kind
+            )
             channel.submit(transfer, now)
             transfer.delivery_event = self._events.push(
                 Event(
                     now + delay,
-                    EventType.TASK_ARRIVAL,
+                    kind,
                     task,
                     cluster=destination,
                 )
             )
             return transfer
-        transfer = WanTransfer(task, megabytes, destination, now, channel)
+        transfer = WanTransfer(task, megabytes, destination, now, channel, kind)
         channel.submit(transfer, now)
         return transfer
 

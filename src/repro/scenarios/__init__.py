@@ -7,16 +7,26 @@ and the ``e2c-sim scenarios`` / ``e2c-sim sweep`` subcommands:
 
 * :func:`register_scenario` — decorator registering a factory by name,
 * :func:`build_scenario` — build a preset by name with keyword overrides,
-* :func:`available_scenarios` — sorted names of all registered presets.
+* :func:`available_scenarios` — sorted names of all registered presets,
+* :func:`scenario_summaries` — (name, one-line description) rows for every
+  preset; the single source of truth behind ``e2c-sim scenarios`` and the
+  doctest-pinned preset table in the README.
 """
 
-from .federated import edge_cloud, fed_heavytail, geo_3site
+from .federated import (
+    edge_cloud,
+    fed_congested,
+    fed_heavytail,
+    fed_rebalance,
+    geo_3site,
+)
 from .presets import classroom_homogeneous, edge_ai, satellite_imaging
 from .registry import (
     available_scenarios,
     build_scenario,
     register_scenario,
     scenario_factory,
+    scenario_summaries,
 )
 from .scale import scale_campus, scale_datacenter, scale_heavytail
 
@@ -30,8 +40,11 @@ __all__ = [
     "edge_cloud",
     "geo_3site",
     "fed_heavytail",
+    "fed_congested",
+    "fed_rebalance",
     "register_scenario",
     "scenario_factory",
     "build_scenario",
     "available_scenarios",
+    "scenario_summaries",
 ]

@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.config import Scenario
-from ..federation.spec import ClusterSpec, FederationSpec
+from ..federation.spec import ClusterSpec, FederationSpec, MigrationSpec
 from ..machines.eet import EETMatrix
 from ..machines.eet_generation import generate_eet_cvb
 from ..machines.power import PowerProfile
@@ -34,7 +34,13 @@ from ..net.topology import InterClusterTopology
 from ..tasks.task_type import TaskType
 from .registry import register_scenario
 
-__all__ = ["edge_cloud", "geo_3site", "fed_heavytail", "fed_congested"]
+__all__ = [
+    "edge_cloud",
+    "geo_3site",
+    "fed_heavytail",
+    "fed_congested",
+    "fed_rebalance",
+]
 
 
 @register_scenario
@@ -284,6 +290,129 @@ def fed_heavytail(
         federation=federation,
         seed=seed,
         name="fed_heavytail",
+    )
+
+
+@register_scenario
+def fed_rebalance(
+    *,
+    scheduler: str = "MM",
+    gateway: str = "LOCALITY_FIRST",
+    gateway_params: dict | None = None,
+    migration: str | dict | MigrationSpec | None = "LONGEST_WAIT",
+    migration_interval: float = 3.0,
+    intensity: str | float = 1.3,
+    duration: float = 300.0,
+    seed: int = 53,
+    uplink_bandwidth: float = 10.0,
+    energy_per_mb: float = 0.3,
+) -> Scenario:
+    """Mid-queue migration over a contended WAN: a sticky gateway, relieved.
+
+    Every task arrives at a small, slow *access* site whose batch policy
+    (MM, bounded machine queues) lets the batch queue pile up under the
+    1.3x-oversubscribed load; the *relief* site's fast machines idle across
+    a single narrow FIFO uplink. The gateway is deliberately sticky
+    (LOCALITY_FIRST with a high threshold): it routes each task exactly
+    once, at arrival, and by the time the access queue saturates those
+    decisions are stale — the regime mid-queue migration exists for. A
+    periodic rebalance pass (eviction policy ``migration``, default
+    LONGEST_WAIT) re-homes queued tasks over the same energy-metered,
+    contention-modelled link any gateway offload would use — one pipe,
+    whoever is sending — and under the default cadence the narrow uplink
+    saturates, so some migrations expire in flight (the FIFO queue's wait
+    eats their slack): the LONGEST_WAIT-vs-DEADLINE_SLACK comparison in
+    docs/FEDERATION.md §6 hinges on exactly that waste.
+
+    Pass ``migration=None`` to run the identical scenario without the
+    rebalancer (the control arm of the teaching comparison), or a
+    :class:`~repro.federation.spec.MigrationSpec`-shaped dict / policy name
+    to sweep eviction disciplines.
+    """
+    task_types = [
+        TaskType("video_analytics", 0, data_in=8.0),
+        TaskType("sensor_fusion", 1, data_in=0.5),
+        TaskType("model_update", 2, data_in=20.0),
+    ]
+    eet = EETMatrix(
+        np.array(
+            [
+                # access_cpu  relief_cpu  relief_gpu
+                [25.0, 8.0, 2.5],    # video analytics
+                [6.0, 3.0, 2.0],     # sensor fusion
+                [40.0, 12.0, 4.0],   # model update
+            ]
+        ),
+        task_types,
+        ["access_cpu", "relief_cpu", "relief_gpu"],
+    )
+    if migration is None or isinstance(migration, MigrationSpec):
+        migration_spec = migration
+    elif isinstance(migration, str):
+        # An aggressive cadence on purpose: the access site oversubscribes
+        # its four CPUs ~1.3x, so relief must move ~2-3 tasks/s to keep up.
+        migration_spec = MigrationSpec(
+            policy=migration,
+            interval=migration_interval,
+            pressure_gap=0.5,
+            batch_max=8,
+        )
+    else:
+        migration_spec = MigrationSpec.from_dict(migration)
+    topology = InterClusterTopology()
+    topology.set_link(
+        "access", "relief", 0.05, uplink_bandwidth,
+        contention="fifo", energy_per_mb=energy_per_mb,
+        idle_watts=2.0, busy_watts=12.0,
+    )
+    gparams = dict(gateway_params or {})
+    if gateway.upper().replace("-", "_") == "LOCALITY_FIRST":
+        # Sticky by default: the gateway only spills once pressure hits 16
+        # outstanding tasks per machine — far past saturation — so relief
+        # comes from migration, not arrival routing. (With the default
+        # rebalancer active the queue never gets that deep, so arrival
+        # offloads stay at zero.) Override via gateway_params.
+        gparams.setdefault("threshold", 16.0)
+    federation = FederationSpec(
+        clusters=[
+            ClusterSpec(
+                name="access",
+                machine_counts={"access_cpu": 4},
+                weight=1.0,
+            ),
+            ClusterSpec(
+                name="relief",
+                machine_counts={"relief_cpu": 4, "relief_gpu": 2},
+                weight=0.0,  # migration/offload target only
+            ),
+        ],
+        gateway=gateway,
+        gateway_params=gparams,
+        topology=topology,
+        migration=migration_spec,
+    )
+    return Scenario(
+        eet=eet,
+        machine_counts={"access_cpu": 4, "relief_cpu": 4, "relief_gpu": 2},
+        scheduler=scheduler,
+        queue_capacity=1.0,
+        generator={
+            "duration": duration,
+            "intensity": intensity,
+            "specs": [
+                {"name": "video_analytics", "share": 1.0, "slack_factor": 4.0},
+                {"name": "sensor_fusion", "share": 2.0, "slack_factor": 5.0},
+                {"name": "model_update", "share": 0.5, "slack_factor": 6.0},
+            ],
+        },
+        power_profiles={
+            "access_cpu": PowerProfile(idle_watts=3.0, busy_watts=9.0),
+            "relief_cpu": PowerProfile(idle_watts=40.0, busy_watts=120.0),
+            "relief_gpu": PowerProfile(idle_watts=35.0, busy_watts=260.0),
+        },
+        federation=federation,
+        seed=seed,
+        name="fed_rebalance",
     )
 
 

@@ -36,6 +36,7 @@ __all__ = [
     "scenario_factory",
     "build_scenario",
     "available_scenarios",
+    "scenario_summaries",
 ]
 
 ScenarioFactory = Callable[..., "Scenario"]
@@ -91,3 +92,18 @@ def build_scenario(name: str, **overrides) -> "Scenario":
 def available_scenarios() -> list[str]:
     """Sorted names of every registered scenario preset."""
     return sorted(_REGISTRY)
+
+
+def scenario_summaries() -> list[tuple[str, str]]:
+    """(name, one-line description) for every registered preset, sorted.
+
+    The description is the first line of the factory's docstring — the
+    single source of truth the ``e2c-sim scenarios`` listing and the
+    doctest-pinned preset table in the README both render, so the two can
+    never drift apart (or from the registry itself).
+    """
+    rows = []
+    for name in available_scenarios():
+        doc = (_REGISTRY[name].__doc__ or "").strip().splitlines()
+        rows.append((name, doc[0] if doc else ""))
+    return rows

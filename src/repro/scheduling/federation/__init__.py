@@ -5,9 +5,27 @@ Mirrors the local-policy plug-in surface: a base class
 :func:`create_gateway` / :func:`available_gateways`) and four stock
 disciplines — locality-first, least-loaded, EET-aware-remote and
 random-split.
+
+The *eviction* policy family (:mod:`.eviction`) is the mid-queue twin:
+where gateways decide a task's cluster once at arrival, eviction policies
+decide which already-queued tasks a rebalance pass migrates off a saturated
+cluster — same registry treatment (:func:`register_eviction` /
+:func:`create_eviction`), three stock disciplines (longest-wait,
+deadline-slack, EET-gain).
 """
 
 from .base import GatewayContext, GatewayPolicy, ShardView, shard_pressure
+from .eviction import (
+    DeadlineSlackEviction,
+    EETGainEviction,
+    EvictionPolicy,
+    LongestWaitEviction,
+    MigrationContext,
+    available_evictions,
+    create_eviction,
+    eviction_class,
+    register_eviction,
+)
 from .policies import (
     EETAwareRemoteGateway,
     LeastLoadedGateway,
@@ -34,4 +52,13 @@ __all__ = [
     "create_gateway",
     "available_gateways",
     "gateway_class",
+    "MigrationContext",
+    "EvictionPolicy",
+    "LongestWaitEviction",
+    "DeadlineSlackEviction",
+    "EETGainEviction",
+    "register_eviction",
+    "create_eviction",
+    "available_evictions",
+    "eviction_class",
 ]

@@ -92,6 +92,7 @@ class Task:
     retries: int = 0                       # times requeued after machine failures
     origin_cluster: int | None = None      # federation: shard the task arrived at
     cluster: int | None = None             # federation: shard currently owning it
+    migrations: int = 0                    # federation: mid-queue cross-cluster moves
 
     def __post_init__(self) -> None:
         if self.id < 0:
@@ -148,6 +149,19 @@ class Task:
         self.status = TaskStatus.MISSED
         self.missed_time = now
         self.drop_stage = stage
+
+    def evict_for_migration(self, now: float) -> None:
+        """Pull the task out of a batch queue for a cross-cluster migration.
+
+        Returns the task to ``CREATED`` — the same state an offloaded task
+        holds while crossing the WAN — so the in-flight deadline handling
+        (cancel, exact link accounting) applies unchanged, and re-arrival at
+        the destination runs the ordinary ``enqueue_batch`` transition. The
+        deadline is untouched: time spent queued at the source is lost.
+        """
+        self._expect(TaskStatus.IN_BATCH_QUEUE)
+        self.status = TaskStatus.CREATED
+        self.migrations += 1
 
     def requeue(self, now: float) -> None:
         """Return the task to the batch queue after a machine failure.

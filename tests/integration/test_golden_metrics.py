@@ -1,8 +1,8 @@
 """Golden-metrics determinism: pinned SummaryMetrics for preset scenarios.
 
 These tests freeze the *exact* numeric output of several registered presets
-(two single-cluster, one failure-enabled, two federated — one of them with
-contended WAN links) at fixed seeds. Their purpose is to make hot-path
+(two single-cluster, one failure-enabled, three federated — contended WAN
+links and mid-queue migration included) at fixed seeds. Their purpose is to make hot-path
 refactors falsifiable: any
 change to event ordering, floating-point evaluation order, RNG consumption,
 or metrics aggregation that alters simulation results — however slightly —
@@ -176,6 +176,60 @@ GOLDEN_FED_CONGESTED_LINKS = {
     "edge_b<->cloud": (266, 260.93749999999994, 730.6249999999985),
 }
 
+#: fed_rebalance preset: mid-queue migration (LONGEST_WAIT every 3 s) off a
+#: saturated access site over a contended FIFO uplink, sticky gateway.
+GOLDEN_FED_REBALANCE_GLOBAL = {
+    "total_tasks": 694,
+    "completed": 462,
+    "cancelled": 127,
+    "missed": 105,
+    "completion_rate": 0.6657060518731989,
+    "cancellation_rate": 0.1829971181556196,
+    "miss_rate": 0.15129682997118155,
+    "on_time": 462,
+    "on_time_rate": 0.6657060518731989,
+    "makespan": 350.9449856665051,
+    "total_energy": 306080.74653679924,
+    "idle_energy": 47824.316422785945,
+    "busy_energy": 258256.4301140133,
+    "energy_per_completed_task": 662.5124383913403,
+    "mean_wait_time": 18.228127619813776,
+    "mean_response_time": 22.92737603865774,
+    "throughput": 1.1269930702489348,
+    "mean_utilization": 0.6450476252513202,
+    "fairness_index": 0.9397142442307997,
+    "completion_rate[model_update]": 1.0,
+    "completion_rate[sensor_fusion]": 0.5773195876288659,
+    "completion_rate[video_analytics]": 0.6363636363636364,
+}
+GOLDEN_FED_REBALANCE_EVENTS = 2699
+GOLDEN_FED_REBALANCE_END_TIME = 409.94040885979143
+#: The sticky gateway never offloads at arrival; every cross-cluster move
+#: is a mid-queue migration (including two back-migrations relief→access).
+GOLDEN_FED_REBALANCE_ROUTING = {
+    "access": {"access": 694, "relief": 0},
+    "relief": {"access": 0, "relief": 0},
+}
+GOLDEN_FED_REBALANCE_MIGRATIONS = {
+    "access": {"access": 0, "relief": 491},
+    "relief": {"access": 2, "relief": 0},
+}
+GOLDEN_FED_REBALANCE_STATS = {
+    "attempted": 493,
+    "delivered": 366,
+    "cancelled_in_flight": 127,
+    "completed": 313,
+    "migrated_task_energy": 236180.0,
+    "migration_wan_energy": 968.6999999999982,
+}
+#: Uplink (delivered, abandoned, busy_time, transfer_energy).
+GOLDEN_FED_REBALANCE_LINK = (
+    366,
+    127,
+    340.6449856665051,
+    1021.9349569995102,
+)
+
 
 def _assert_exact(actual: dict, expected: dict) -> None:
     assert set(actual) == set(expected)
@@ -301,6 +355,64 @@ class TestGoldenFedCongested:
         )
         assert split.wan_transfer_energy > 0
         assert split.energy_per_offloaded_task > split.energy_per_local_task
+
+
+class TestGoldenFedRebalance:
+    """Mid-queue migration pinned: eviction counts, in-flight cancellations,
+    the migration matrix, and the contended uplink's accounting are frozen."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_scenario("fed_rebalance").run()
+
+    def test_summary_exact(self, result):
+        _assert_exact(result.summary.as_dict(), GOLDEN_FED_REBALANCE_GLOBAL)
+
+    def test_event_count_and_end_time_exact(self, result):
+        assert result.events_processed == GOLDEN_FED_REBALANCE_EVENTS
+        assert result.end_time == GOLDEN_FED_REBALANCE_END_TIME
+
+    def test_routing_and_migration_matrices_exact(self, result):
+        assert result.routing == GOLDEN_FED_REBALANCE_ROUTING
+        assert result.offloaded == 0  # the sticky gateway never spills
+        assert result.migrations == GOLDEN_FED_REBALANCE_MIGRATIONS
+
+    def test_migration_stats_exact(self, result):
+        stats = result.migration_stats
+        for key, expected in GOLDEN_FED_REBALANCE_STATS.items():
+            assert getattr(stats, key) == expected, key
+
+    def test_migration_conservation(self, result):
+        # No migrated task lost or double-counted: every eviction either
+        # reached the destination queue or was cancelled in flight, and the
+        # global outcome counters still account for the whole workload.
+        stats = result.migration_stats
+        assert stats.attempted == stats.delivered + stats.cancelled_in_flight
+        summary = result.summary
+        assert (
+            summary.completed + summary.cancelled + summary.missed
+            == summary.total_tasks
+        )
+
+    def test_uplink_usage_exact(self, result):
+        usage = result.wan_links["access<->relief"]
+        assert (
+            usage.delivered,
+            usage.abandoned,
+            usage.busy_time,
+            usage.transfer_energy,
+        ) == GOLDEN_FED_REBALANCE_LINK
+
+    def test_migration_without_rebalancer_is_absent(self):
+        result = build_scenario("fed_rebalance", migration=None).run()
+        assert result.migrations == {}
+        assert result.migration_stats.attempted == 0
+        # The control arm demonstrates the unlock: the sticky gateway alone
+        # completes far less of the same workload.
+        assert (
+            result.summary.completion_rate
+            < GOLDEN_FED_REBALANCE_GLOBAL["completion_rate"] - 0.15
+        )
 
 
 class TestConservation:

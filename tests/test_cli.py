@@ -175,6 +175,57 @@ class TestRunPresets:
         assert code == 2
         assert "animate" in capsys.readouterr().err
 
+    def test_run_with_migration_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scenario", "fed_rebalance",
+                "--migration", "deadline-slack",
+                "--migration-interval", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "migrated > dst" in out
+
+    def test_run_with_migration_off(self, capsys):
+        code = main(
+            ["run", "--scenario", "fed_rebalance", "--migration", "off"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "migrated > dst" not in out
+
+    def test_migration_interval_requires_migration(self, capsys):
+        code = main(
+            ["run", "--scenario", "fed_rebalance", "--migration-interval", "5"]
+        )
+        assert code == 2
+        assert "--migration" in capsys.readouterr().err
+
+    def test_migration_interval_conflicts_with_off(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scenario", "fed_rebalance",
+                "--migration", "off",
+                "--migration-interval", "5",
+            ]
+        )
+        assert code == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_migration_rejected_for_single_cluster(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scenario", "satellite_imaging",
+                "--migration", "LONGEST_WAIT",
+            ]
+        )
+        assert code == 1
+        assert "federated" in capsys.readouterr().err
+
 
 class TestGenerate:
     def test_generate_workload(self, csv_files, tmp_path, capsys):
@@ -216,12 +267,27 @@ class TestOtherCommands:
         assert "MECT" in out and "MM" in out
         assert "gateway policies" in out
         assert "LEAST_LOADED" in out
+        assert "eviction policies" in out
+        assert "LONGEST_WAIT" in out
 
     def test_scenarios_listing_includes_federated_presets(self, capsys):
         assert main(["scenarios"]) == 0
         out = capsys.readouterr().out
         for name in ("edge_cloud", "geo_3site", "fed_heavytail"):
             assert name in out
+
+    def test_scenarios_listing_is_registry_generated(self, capsys):
+        # The listing is rendered from scenario_summaries(), the same
+        # single source of truth the README preset table doctests — every
+        # registered preset must appear, with its factory's first doc line.
+        from repro.scenarios import scenario_summaries
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name, summary in scenario_summaries():
+            assert name in out
+            if summary:
+                assert summary in out
 
     def test_schedulers_mode_filter(self, capsys):
         assert main(["schedulers", "--mode", "batch"]) == 0

@@ -44,6 +44,63 @@ class TestDocsChecker:
         assert proc.returncode == 1
         assert "broken link" in proc.stdout
 
+    def test_checker_catches_broken_anchor(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "GUIDE.md").write_text(
+            "# Guide\n\n## Real Section\n", encoding="utf-8"
+        )
+        (tmp_path / "README.md").write_text(
+            ">>> 1\n1\n\nsee [a](docs/GUIDE.md#real-section) "
+            "and [b](docs/GUIDE.md#gone-section)\n",
+            encoding="utf-8",
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "check_docs.py"),
+                "--root",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "broken anchor" in proc.stdout
+        assert "#gone-section" in proc.stdout
+        assert "#real-section" not in proc.stdout
+
+    def test_checker_validates_same_page_fragments(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            ">>> 1\n1\n\n## Alpha\n\njump to [nowhere](#beta)\n",
+            encoding="utf-8",
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO / "tools" / "check_docs.py"),
+                "--root",
+                str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "broken anchor" in proc.stdout
+
+    def test_slugs_match_github_rules(self):
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            from check_docs import github_slug, heading_anchors
+        finally:
+            sys.path.pop(0)
+        assert github_slug("1. Concepts: shards, the gateway") == (
+            "1-concepts-shards-the-gateway"
+        )
+        assert github_slug("WAN `LinkChannel` energy") == "wan-linkchannel-energy"
+        text = "# Dup\n\n# Dup\n\n```python\n# not a heading\n```\n"
+        assert heading_anchors(text) == {"dup", "dup-1"}
+
     def test_checker_catches_vanished_doctests(self, tmp_path):
         # A README without any >>> snippet must fail the gate, not pass
         # vacuously.

@@ -5,7 +5,13 @@ import pytest
 from repro.core.errors import ConfigurationError
 from repro.scenarios import available_scenarios, build_scenario
 
-FEDERATED_PRESETS = ["edge_cloud", "geo_3site", "fed_heavytail"]
+FEDERATED_PRESETS = [
+    "edge_cloud",
+    "geo_3site",
+    "fed_heavytail",
+    "fed_congested",
+    "fed_rebalance",
+]
 
 
 class TestRegistration:

@@ -8,9 +8,13 @@ docs/FEDERATION.md for the ``>>>`` snippets, whose *outputs* must match):
 
 1. Every relative Markdown link ``[text](target)`` in the repo's root and
    ``docs/`` Markdown files must point at an existing file or directory
-   (URL fragments are stripped; ``http(s):``/``mailto:`` links are not
-   checked — no network in CI).
-2. Every fenced ```` ```python ```` block must at least *compile*. Blocks
+   (``http(s):``/``mailto:`` links are not checked — no network in CI).
+2. Every ``#fragment`` on a relative or same-file link must name a real
+   heading anchor (GitHub slug rules: lowercase, punctuation stripped,
+   spaces to hyphens, ``-N`` suffixes for duplicates) in the target
+   Markdown file, so section cross-references cannot rot when headings
+   are renamed or renumbered.
+3. Every fenced ```` ```python ```` block must at least *compile*. Blocks
    written as interactive sessions (``>>>``) are skipped here; doctest
    executes those for real.
 
@@ -30,8 +34,46 @@ from pathlib import Path
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.+?)\s*$")
+MD_LINK_IN_HEADING_RE = re.compile(r"\[([^\]]*)\]\([^)]*\)")
 
 SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def github_slug(title: str) -> str:
+    """GitHub's heading → anchor transformation (the common subset).
+
+    Inline code/link markup is reduced to its text, then: lowercase, drop
+    everything but word characters, spaces and hyphens, spaces become
+    hyphens (one each — consecutive spaces yield consecutive hyphens).
+    """
+    title = MD_LINK_IN_HEADING_RE.sub(r"\1", title).replace("`", "")
+    title = re.sub(r"[^\w\- ]", "", title.lower())
+    return title.replace(" ", "-")
+
+
+def heading_anchors(text: str) -> set[str]:
+    """Every anchor the rendered page exposes (``-N`` suffixed duplicates).
+
+    Headings inside fenced code blocks are not headings and expose nothing.
+    """
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match is None:
+            continue
+        slug = github_slug(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
 
 
 def markdown_files(root: Path) -> list[Path]:
@@ -41,23 +83,46 @@ def markdown_files(root: Path) -> list[Path]:
     return [f for f in files if f.is_file()]
 
 
-def check_links(path: Path, root: Path) -> list[str]:
-    """Broken relative links in one Markdown file."""
+def check_links(
+    path: Path, root: Path, anchor_cache: dict[Path, set[str]] | None = None
+) -> list[str]:
+    """Broken relative links (and dead ``#anchors``) in one Markdown file."""
+    if anchor_cache is None:
+        anchor_cache = {}
+
+    def anchors_of(target: Path) -> set[str]:
+        if target not in anchor_cache:
+            anchor_cache[target] = heading_anchors(
+                target.read_text(encoding="utf-8")
+            )
+        return anchor_cache[target]
+
     errors = []
     text = path.read_text(encoding="utf-8")
     for match in LINK_RE.finditer(text):
         target = match.group(1)
-        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+        if target.startswith(SKIP_SCHEMES):
             continue
-        relative = target.split("#", 1)[0]
-        if not relative:
+        relative, _, fragment = target.partition("#")
+        if relative:
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(root)}: broken link '{target}' "
+                    f"(no such file: {relative})"
+                )
+                continue
+        else:
+            resolved = path  # bare '#fragment': a same-page section link
+        if not fragment:
             continue
-        resolved = (path.parent / relative).resolve()
-        if not resolved.exists():
-            errors.append(
-                f"{path.relative_to(root)}: broken link '{target}' "
-                f"(no such file: {relative})"
-            )
+        if resolved.is_file() and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                errors.append(
+                    f"{path.relative_to(root)}: broken anchor '{target}' "
+                    f"(no heading slugs to '#{fragment}' in "
+                    f"{resolved.name})"
+                )
     return errors
 
 
@@ -99,14 +164,16 @@ def main(argv: list[str] | None = None) -> int:
 
     errors: list[str] = []
     checked_links = 0
+    anchor_cache: dict[Path, set[str]] = {}
     for path in markdown_files(root):
-        errors += check_links(path, root)
+        errors += check_links(path, root, anchor_cache)
         errors += check_python_fences(path, root)
         checked_links += len(LINK_RE.findall(path.read_text(encoding="utf-8")))
 
     # The doctest gate only bites if the snippets exist: losing them all to
-    # an over-eager edit should fail loudly, not pass vacuously.
-    for doc, minimum in (("README.md", 1), (Path("docs") / "FEDERATION.md", 5)):
+    # an over-eager edit should fail loudly, not pass vacuously. Minimums
+    # track the guide's growth (the migration chapter §6 added its own).
+    for doc, minimum in (("README.md", 3), (Path("docs") / "FEDERATION.md", 12)):
         path = root / doc
         if not path.exists():
             errors.append(f"{doc}: missing (doctest-gated document)")
@@ -123,8 +190,9 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     files = markdown_files(root)
     print(
-        f"OK: {len(files)} Markdown files, {checked_links} links checked, "
-        "all python fences compile, doctest snippets present"
+        f"OK: {len(files)} Markdown files, {checked_links} links checked "
+        "(files and #anchors), all python fences compile, doctest snippets "
+        "present"
     )
     return 0
 
