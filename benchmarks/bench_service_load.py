@@ -1,0 +1,162 @@
+"""Load driver for the campaign service: duplicate-heavy submission storms.
+
+The service exists for the classroom case where many students submit the
+same handful of specs. This driver models exactly that: *S* submitter
+threads racing over *U* unique scenarios, each submitting *R* times, against
+a fresh service. It returns a :class:`LoadReport` and **asserts the
+single-flight invariant inline** — exactly one engine execution per unique
+canonical key, no matter how contended the submission path was.
+
+Run standalone (``python benchmarks/bench_service_load.py [--smoke]``) or
+through pytest-benchmark via ``test_bench_service_load.py``, whose
+``submissions_per_sec`` figure feeds ``check_regression.py`` against
+``results/service_load_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one submission storm."""
+
+    submitters: int
+    unique_specs: int
+    submissions: int
+    executions: int
+    cache_hits: int
+    coalesced: int
+    wall: float
+    submissions_per_sec: float
+
+    def line(self) -> str:
+        return (
+            f"{self.submissions} submissions from {self.submitters} threads "
+            f"over {self.unique_specs} unique specs: "
+            f"{self.executions} engine runs, "
+            f"{self.cache_hits} cache hits, {self.coalesced} coalesced, "
+            f"{self.submissions_per_sec:,.0f} submissions/s"
+        )
+
+
+def make_specs(unique_specs: int, duration: float) -> list[dict]:
+    """*unique_specs* distinct scenarios (seed axis) — distinct cache keys."""
+    return [
+        {
+            "preset": "classroom_homogeneous",
+            "overrides": {"duration": duration, "seed": 100 + i},
+        }
+        for i in range(unique_specs)
+    ]
+
+
+def run_load(
+    *,
+    submitters: int = 8,
+    unique_specs: int = 3,
+    repeats: int = 4,
+    workers: int = 2,
+    duration: float = 30.0,
+    root: str | Path | None = None,
+) -> LoadReport:
+    """One storm: barrier-released threads submit a duplicate-heavy mix.
+
+    Submitter *i* submits *repeats* specs round-robin starting at offset
+    ``i % unique_specs``, so every unique spec is hit by several threads
+    at once. Raises ``AssertionError`` if the service executes more (or
+    fewer) than one engine run per unique spec.
+    """
+    from repro.service import CampaignService
+
+    specs = make_specs(unique_specs, duration)
+    tmp = None
+    if root is None:
+        tmp = tempfile.TemporaryDirectory(prefix="e2c-service-load-")
+        root = tmp.name
+    try:
+        with CampaignService(root, workers=workers) as service:
+            receipts = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(submitters)
+
+            def storm(index: int) -> None:
+                barrier.wait()
+                for r in range(repeats):
+                    spec = specs[(index + r) % unique_specs]
+                    receipt = service.submit(dict(spec))
+                    with lock:
+                        receipts.append(receipt)
+
+            threads = [
+                threading.Thread(target=storm, args=(i,), name=f"submit-{i}")
+                for i in range(submitters)
+            ]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for receipt in receipts:
+                service.wait(receipt.job_id, timeout=300)
+            wall = time.perf_counter() - start
+
+            keys = {r.key for r in receipts}
+            assert len(keys) == unique_specs, (
+                f"expected {unique_specs} unique keys, got {len(keys)}"
+            )
+            assert service.queue.executions == unique_specs, (
+                f"single-flight violated: {service.queue.executions} engine "
+                f"runs for {unique_specs} unique specs"
+            )
+            n = len(receipts)
+            return LoadReport(
+                submitters=submitters,
+                unique_specs=unique_specs,
+                submissions=n,
+                executions=service.queue.executions,
+                cache_hits=service.queue.cache_hits,
+                coalesced=service.queue.coalesced,
+                wall=wall,
+                submissions_per_sec=n / wall if wall > 0 else 0.0,
+            )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--submitters", type=int, default=8)
+    parser.add_argument("--unique-specs", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--duration", type=float, default=30.0)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="single fast storm (CI): tiny scenario, one worker",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.duration = min(args.duration, 20.0)
+        args.workers = 1
+    report = run_load(
+        submitters=args.submitters,
+        unique_specs=args.unique_specs,
+        repeats=args.repeats,
+        workers=args.workers,
+        duration=args.duration,
+    )
+    print(report.line())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,13 @@ Subcommands mirror the E2C GUI surface:
 * ``e2c-sim scenarios`` — list registered scenario presets.
 * ``e2c-sim sweep`` — run an experiment campaign (scenario grid x scheduler
   list x seed list) over worker processes and print the comparison table.
+* ``e2c-sim serve`` — run the campaign service over a spool directory:
+  watch ``inbox/`` for submitted specs, execute unique work once on the
+  persistent worker pool, serve repeats from the canonical-hash result
+  cache, and publish receipts/status/results as JSON files.
+* ``e2c-sim submit`` — drop a scenario/campaign spec (or preset name) into
+  a service directory; optionally wait for and print the result
+  (``--status``/``--result`` query existing jobs).
 * ``e2c-sim bench`` — engine-throughput benchmark over registered scenarios
   (defaults to the scale tier).
 * ``e2c-sim assignment`` — regenerate the class-assignment figures (5/6/7).
@@ -182,6 +189,81 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--save-spec", type=Path, default=None, metavar="JSON",
         help="write the expanded campaign spec to JSON (reload with --spec)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service (job queue + result cache) over a "
+        "spool directory",
+        description=(
+            "Run a long-lived simulation service. Specs dropped into "
+            "DIR/inbox (by 'e2c-sim submit') are keyed by their canonical "
+            "content hash, executed once each on a pool of persistent "
+            "worker processes (with job states, bounded crash retries and "
+            "a progress journal), and answered through DIR/receipts and "
+            "DIR/jobs; identical submissions are served from the result "
+            "cache without re-simulating."
+        ),
+    )
+    serve.add_argument(
+        "--dir", type=Path, required=True, metavar="DIR",
+        help="service directory (inbox/, receipts/, jobs/, cache/, state/)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="persistent worker processes (default 2)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="executions allowed per job before a crashing job fails "
+        "(default 3)",
+    )
+    serve.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="inbox poll interval (default 0.2s)",
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after N submissions of this session reach a terminal "
+        "state (smoke tests / CI)",
+    )
+    serve.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit once the inbox has been empty and no job live for this "
+        "long (default: serve forever)",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a spec to (or query) a campaign-service directory",
+        description=(
+            "Drop a scenario JSON file, campaign spec, JSON literal, or "
+            "registered preset name into a service directory's inbox for a "
+            "running 'e2c-sim serve' to pick up. --wait polls until the "
+            "job finishes and prints the result; --status/--result query "
+            "a previously submitted job."
+        ),
+    )
+    submit.add_argument(
+        "--dir", type=Path, required=True, metavar="DIR",
+        help="service directory shared with 'e2c-sim serve'",
+    )
+    submit.add_argument(
+        "spec", nargs="?", default=None,
+        help="scenario/campaign JSON file, JSON literal, or a registered "
+        "preset name (see 'scenarios')",
+    )
+    submit.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="wait up to SECONDS for the job to finish and print its result",
+    )
+    submit.add_argument(
+        "--status", default=None, metavar="JOB_ID",
+        help="print the status record of an existing job and exit",
+    )
+    submit.add_argument(
+        "--result", dest="result_job", default=None, metavar="JOB_ID",
+        help="print the result of a finished job and exit",
     )
 
     bench = sub.add_parser(
@@ -479,6 +561,221 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spool_dirs(root: Path) -> tuple[Path, Path, Path]:
+    """The spool transport's directories: inbox, receipts, job status."""
+    inbox, receipts, jobs = root / "inbox", root / "receipts", root / "jobs"
+    for directory in (inbox, receipts, jobs):
+        directory.mkdir(parents=True, exist_ok=True)
+    return inbox, receipts, jobs
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    import json
+    import os
+
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .service import CampaignService
+
+    inbox, receipts, jobs_dir = _spool_dirs(args.dir)
+    service = CampaignService(
+        args.dir, workers=args.workers, max_attempts=args.max_attempts
+    )
+    session_jobs: set[str] = set()
+    published: dict[str, tuple] = {}
+    idle_since = time.monotonic()
+    print(f"serving {args.dir} (workers={args.workers}); ctrl-c to stop")
+    try:
+        while True:
+            for path in sorted(inbox.glob("*.json")):
+                receipt_path = receipts / path.name
+                try:
+                    receipt = service.submit(path)
+                except E2CError as exc:
+                    _write_json_atomic(receipt_path, {"error": str(exc)})
+                    path.unlink()
+                    print(f"rejected {path.stem}: {exc}", file=sys.stderr)
+                    continue
+                _write_json_atomic(
+                    receipt_path,
+                    {
+                        "job_id": receipt.job_id,
+                        "key": receipt.key,
+                        "kind": receipt.kind,
+                        "cached": receipt.cached,
+                    },
+                )
+                path.unlink()
+                session_jobs.add(receipt.job_id)
+                print(
+                    f"{path.stem} -> {receipt.job_id} [{receipt.kind}] "
+                    + ("(cache hit)" if receipt.cached else "queued")
+                )
+            live = 0
+            terminal = 0
+            for job in service.queue.jobs():
+                signature = (job.state.value, job.runs_done, job.attempts)
+                if published.get(job.id) != signature:
+                    body = job.as_dict()
+                    if job.state.value == "done":
+                        body["result"] = service.result(job.id)
+                    _write_json_atomic(jobs_dir / f"{job.id}.json", body)
+                    published[job.id] = signature
+                    if job.state.is_terminal:
+                        print(
+                            f"{job.id}: {job.state.value} "
+                            f"({job.runs_done}/{job.runs_total} runs, "
+                            f"attempt {job.attempts})"
+                        )
+                if job.state.is_terminal:
+                    if job.id in session_jobs:
+                        terminal += 1
+                else:
+                    live += 1
+            if args.max_jobs is not None and terminal >= args.max_jobs:
+                print(f"served {terminal} job(s); exiting (--max-jobs)")
+                return 0
+            if live or any(inbox.glob("*.json")):
+                idle_since = time.monotonic()
+            elif (
+                args.idle_exit is not None
+                and time.monotonic() - idle_since >= args.idle_exit
+            ):
+                print("inbox idle; exiting (--idle-exit)")
+                return 0
+            time.sleep(args.poll)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        print("\nstopping")
+        return 0
+    finally:
+        service.close()
+
+
+def _print_job_status(body: dict) -> None:
+    import json
+
+    view = {k: v for k, v in body.items() if k not in ("request", "result")}
+    print(json.dumps(view, indent=2, sort_keys=True))
+
+
+def _print_job_result(body: dict) -> int:
+    result = body.get("result")
+    if body.get("state") != "done" or result is None:
+        print(
+            f"error: job {body.get('id')} has no result "
+            f"(state: {body.get('state')}"
+            + (f", error: {body['error']}" if body.get("error") else "")
+            + ")",
+            file=sys.stderr,
+        )
+        return 1
+    if result.get("kind") == "campaign":
+        print(result["text"])
+    else:
+        print(f"scenario {result.get('name')!r} "
+              f"[{result.get('scheduler')}] summary:")
+        for metric, value in result.get("summary", {}).items():
+            print(f"  {metric:<28} {value}")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import time
+    import uuid
+
+    inbox, receipts, jobs_dir = _spool_dirs(args.dir)
+
+    if args.status is not None or args.result_job is not None:
+        if args.spec is not None:
+            print(
+                "error: --status/--result query existing jobs and do not "
+                "take a spec",
+                file=sys.stderr,
+            )
+            return 2
+        job_id = args.status or args.result_job
+        status_path = jobs_dir / f"{job_id}.json"
+        if not status_path.exists():
+            print(
+                f"error: no such job {job_id!r} in {args.dir}",
+                file=sys.stderr,
+            )
+            return 1
+        body = json.loads(status_path.read_text(encoding="utf-8"))
+        if args.result_job is not None:
+            return _print_job_result(body)
+        _print_job_status(body)
+        return 0
+
+    if args.spec is None:
+        print(
+            "error: provide a spec (JSON file, JSON literal, or preset "
+            "name), or --status/--result JOB_ID",
+            file=sys.stderr,
+        )
+        return 2
+
+    source = args.spec
+    if not source.lstrip().startswith("{") and not Path(source).exists():
+        # A bare word: treat it as a registered preset name.
+        data: dict = {"preset": source}
+    else:
+        from .core.jsonio import load_json_source
+
+        data = load_json_source(source, what="submission")
+    submission = f"sub-{uuid.uuid4().hex[:12]}"
+    _write_json_atomic(inbox / f"{submission}.json", data)
+    print(f"submitted {submission} to {args.dir}")
+
+    if args.wait is None:
+        return 0
+    deadline = time.monotonic() + args.wait
+    receipt_path = receipts / f"{submission}.json"
+    receipt = None
+    while time.monotonic() < deadline:
+        if receipt_path.exists():
+            receipt = json.loads(receipt_path.read_text(encoding="utf-8"))
+            break
+        time.sleep(0.1)
+    if receipt is None:
+        print(
+            f"error: no receipt for {submission} within {args.wait}s — "
+            "is 'e2c-sim serve' running on this directory?",
+            file=sys.stderr,
+        )
+        return 1
+    if "error" in receipt:
+        print(f"error: submission rejected: {receipt['error']}", file=sys.stderr)
+        return 1
+    job_id = receipt["job_id"]
+    print(f"receipt: job {job_id} ({'cache hit' if receipt['cached'] else 'queued'})")
+    status_path = jobs_dir / f"{job_id}.json"
+    body = None
+    while time.monotonic() < deadline:
+        if status_path.exists():
+            body = json.loads(status_path.read_text(encoding="utf-8"))
+            if body.get("state") in ("done", "failed", "cancelled"):
+                break
+        time.sleep(0.1)
+    if body is None or body.get("state") not in ("done", "failed", "cancelled"):
+        state = "unknown" if body is None else body.get("state")
+        print(
+            f"error: job {job_id} not finished within {args.wait}s "
+            f"(state: {state})",
+            file=sys.stderr,
+        )
+        return 1
+    return _print_job_result(body)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json as json_module
     import time
@@ -588,6 +885,8 @@ _COMMANDS = {
     "schedulers": _cmd_schedulers,
     "scenarios": _cmd_scenarios,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "bench": _cmd_bench,
     "assignment": _cmd_assignment,
     "table1": _cmd_table1,

@@ -429,6 +429,18 @@ class Scenario:
         """Load from a JSON file path or a JSON string."""
         return cls.from_dict(load_json_source(source, what="scenario"))
 
+    def fingerprint(self) -> str:
+        """Canonical content hash of this scenario (the service cache key).
+
+        Two scenarios share a fingerprint exactly when the deterministic
+        engine would produce identical results for them — display ``name``
+        excluded, everything else (EET, machines, policy, workload recipe,
+        seed, federation) included. See :mod:`repro.service.hashing`.
+        """
+        from ..service.hashing import scenario_hash
+
+        return scenario_hash(self)
+
     # -- conveniences ------------------------------------------------------------------------
 
     @classmethod

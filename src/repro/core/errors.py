@@ -21,6 +21,8 @@ __all__ = [
     "UnknownScenarioError",
     "SimulationStateError",
     "ReportError",
+    "ServiceError",
+    "UnknownJobError",
 ]
 
 
@@ -75,3 +77,16 @@ class SimulationStateError(E2CError):
 
 class ReportError(E2CError):
     """Report generation or export failed."""
+
+
+class ServiceError(E2CError):
+    """The campaign service was asked something it cannot do.
+
+    Raised by :mod:`repro.service` for protocol misuse: submitting a spec the
+    service cannot interpret, asking for the result of a job that has not
+    finished, or operating a closed service.
+    """
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """Requested job id is not known to the service."""

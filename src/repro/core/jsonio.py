@@ -11,19 +11,25 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Mapping
 
 from .errors import ConfigurationError
 
 __all__ = ["load_json_source"]
 
 
-def load_json_source(source: str | Path, *, what: str = "document") -> Any:
-    """Parse *source* — a JSON file path, or a literal JSON string.
+def load_json_source(
+    source: str | Path | Mapping[str, Any], *, what: str = "document"
+) -> Any:
+    """Parse *source* — a JSON file path, a literal JSON string, or a mapping.
 
-    A string that does not start with ``{`` is treated as a path. *what*
-    names the artifact in error messages ("scenario", "campaign spec").
+    A string that does not start with ``{`` is treated as a path; an
+    already-parsed mapping passes through unchanged (so service callers can
+    hand over dicts and strings through one door). *what* names the artifact
+    in error messages ("scenario", "campaign spec", "submission").
     """
+    if isinstance(source, Mapping):
+        return source
     if isinstance(source, Path) or (
         isinstance(source, str) and not source.lstrip().startswith("{")
     ):

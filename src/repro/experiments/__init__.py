@@ -23,7 +23,14 @@ and across any worker count.
 """
 
 from .campaign import DEFAULT_METRICS, CampaignSpec, RunSpec, ScenarioRef
-from .runner import CampaignResult, CampaignRunner, RunRecord, run_campaign
+from .runner import (
+    CampaignResult,
+    CampaignRunner,
+    RunRecord,
+    execute_campaign,
+    result_extras,
+    run_campaign,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -34,4 +41,6 @@ __all__ = [
     "CampaignResult",
     "RunRecord",
     "run_campaign",
+    "execute_campaign",
+    "result_extras",
 ]

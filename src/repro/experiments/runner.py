@@ -22,7 +22,7 @@ import multiprocessing
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..core.errors import ConfigurationError
 from ..metrics.collector import SummaryMetrics
@@ -30,7 +30,14 @@ from ..metrics.comparison import PolicyComparison
 from ..scenarios import build_scenario
 from .campaign import CampaignSpec, RunSpec
 
-__all__ = ["RunRecord", "CampaignResult", "CampaignRunner", "run_campaign"]
+__all__ = [
+    "RunRecord",
+    "CampaignResult",
+    "CampaignRunner",
+    "run_campaign",
+    "execute_campaign",
+    "result_extras",
+]
 
 #: Identity columns every tidy-table row starts with, in order.
 IDENTITY_COLUMNS = ("scenario", "scheduler", "seed", "run_seed")
@@ -49,6 +56,30 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def result_extras(result) -> dict[str, float]:
+    """Result-level metrics living outside SummaryMetrics, as plain floats.
+
+    Federated runs carry the offloading/WAN energy figures (and, when
+    mid-queue migration ran, its conservation + energy account) into the
+    campaign table and the service result cache; single-cluster runs have
+    none.
+    """
+    extras: dict[str, float] = {}
+    if hasattr(result, "energy_split"):
+        split = result.energy_split
+        extras = {
+            "offload_rate": result.offload_rate,
+            "wan_time_total": result.wan_time_total,
+            "wan_energy_total": result.wan_energy_total,
+            "energy_per_local_task": split.energy_per_local_task,
+            "energy_per_offloaded_task": split.energy_per_offloaded_task,
+        }
+        stats = result.migration_stats
+        if stats.attempted:
+            extras.update(stats.as_dict())
+    return extras
+
+
 def _execute_cell(cell: RunSpec) -> "RunRecord":
     """Run one grid cell; module-level so worker processes can import it."""
     scenario = build_scenario(cell.scenario, **dict(cell.overrides))
@@ -60,23 +91,7 @@ def _execute_cell(cell: RunSpec) -> "RunRecord":
         name=cell.label,
     )
     result = scenario.run()
-    extras: dict[str, float] = {}
-    if hasattr(result, "energy_split"):
-        # Federated run: carry the offloading/WAN energy metrics into the
-        # campaign table (small picklable floats, like the summary).
-        split = result.energy_split
-        extras = {
-            "offload_rate": result.offload_rate,
-            "wan_time_total": result.wan_time_total,
-            "wan_energy_total": result.wan_energy_total,
-            "energy_per_local_task": split.energy_per_local_task,
-            "energy_per_offloaded_task": split.energy_per_offloaded_task,
-        }
-        stats = result.migration_stats
-        if stats.attempted:
-            # Mid-queue migration ran: carry its conservation + energy
-            # account so campaigns can sweep eviction policies.
-            extras.update(stats.as_dict())
+    extras = result_extras(result)
     return RunRecord(
         scenario=cell.label,
         scheduler=cell.scheduler,
@@ -271,3 +286,28 @@ def run_campaign(
 ) -> CampaignResult:
     """One-call convenience: ``CampaignRunner(spec, workers=...).run(...)``."""
     return CampaignRunner(spec, workers=workers).run(parallel=parallel)
+
+
+def execute_campaign(
+    spec: CampaignSpec,
+    *,
+    progress: Callable[[int, int], None] | None = None,
+) -> CampaignResult:
+    """Run a campaign serially, reporting per-cell progress as it goes.
+
+    The streaming twin of :meth:`CampaignRunner.run`: cells execute in grid
+    order inside the calling process, and ``progress(done, total)`` fires
+    after every completed run. The campaign service's persistent workers use
+    this to journal runs-completed counters incrementally; the resulting
+    table is byte-identical to every other execution mode (same cells, same
+    derived seeds, same order).
+    """
+    cells = spec.cells()
+    if progress is not None:
+        progress(0, len(cells))
+    records = []
+    for done, cell in enumerate(cells, start=1):
+        records.append(_execute_cell(cell))
+        if progress is not None:
+            progress(done, len(cells))
+    return CampaignResult(spec=spec, records=tuple(records))

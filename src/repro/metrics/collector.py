@@ -57,6 +57,24 @@ class SummaryMetrics:
             out[f"completion_rate[{name}]"] = rate
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SummaryMetrics":
+        """Inverse of :meth:`as_dict` — exact reconstruction.
+
+        The campaign service stores summaries in its result cache as the
+        flat ``as_dict`` form (JSON keeps float ``repr`` precision), so a
+        cache round-trip must reproduce the original dataclass field for
+        field: ``SummaryMetrics.from_dict(m.as_dict()) == m``.
+        """
+        by_type: dict[str, float] = {}
+        fields: dict = {}
+        for key, value in data.items():
+            if key.startswith("completion_rate[") and key.endswith("]"):
+                by_type[key[len("completion_rate["):-1]] = value
+            else:
+                fields[key] = value
+        return cls(completion_rate_by_type=by_type, **fields)
+
 
 class MetricsCollector:
     """Accumulates task outcomes and snapshots machine counters.

@@ -1,0 +1,131 @@
+"""Transport-neutral campaign-service façade: submit / status / result / cancel.
+
+:class:`CampaignService` is the simulation-as-a-service surface: it accepts
+the same JSON spec forms the CLI consumes (scenario objects, preset
+references, campaign specs — as dicts, JSON strings, or file paths via
+:func:`repro.core.jsonio.load_json_source`), keys every submission by its
+canonical hash, and fronts the durable :class:`~repro.service.jobs.JobQueue`
+with a content-addressed :class:`~repro.service.cache.ResultCache`. Identical
+submissions from a classroom of thousands cost one simulation.
+
+"Transport-neutral" means these are plain methods: the filesystem-spool CLI
+pair (``e2c-sim serve`` / ``e2c-sim submit``), an HTTP adapter, or a test
+driving threads in-process all speak the same façade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.errors import ServiceError
+from ..core.jsonio import load_json_source
+from ..metrics.collector import SummaryMetrics
+from .cache import ResultCache
+from .hashing import request_key
+from .jobs import Executor, Job, JobQueue, execute_request
+
+__all__ = ["SubmitReceipt", "CampaignService"]
+
+
+@dataclass(frozen=True)
+class SubmitReceipt:
+    """What a submitter gets back immediately: identity, not results.
+
+    ``cached`` is True when the submission completed instantly from the
+    result cache (or from an identical finished job); ``coalesced`` when it
+    attached to an identical job already pending or running.
+    """
+
+    job_id: str
+    key: str
+    kind: str
+    cached: bool
+    coalesced: bool
+
+
+class CampaignService:
+    """A long-lived simulation service over one service directory.
+
+    Parameters
+    ----------
+    root:
+        Service home; the result cache lives under ``root/cache`` and the
+        durable queue state (journal + job snapshots) under ``root/state``.
+    workers / max_attempts / retry_delay:
+        Forwarded to :class:`~repro.service.jobs.JobQueue`.
+    executor:
+        Injectable job executor (tests); defaults to the real engine.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        workers: int = 2,
+        max_attempts: int = 3,
+        retry_delay: float = 0.05,
+        executor: Executor = execute_request,
+    ):
+        self.root = Path(root)
+        self.cache = ResultCache(self.root / "cache")
+        self.queue = JobQueue(
+            cache=self.cache,
+            workers=workers,
+            max_attempts=max_attempts,
+            retry_delay=retry_delay,
+            executor=executor,
+            state_dir=self.root / "state",
+        )
+
+    # -- the service protocol ------------------------------------------------------
+
+    def submit(self, source: str | Path | Mapping[str, Any]) -> SubmitReceipt:
+        """Accept a spec (dict, JSON string, or file path); returns a receipt."""
+        data = load_json_source(source, what="submission")
+        kind, spec, key = request_key(data)
+        before = self.queue.coalesced
+        job = self.queue.submit({"kind": kind, "spec": spec}, key=key)
+        return SubmitReceipt(
+            job_id=job.id,
+            key=key,
+            kind=kind,
+            cached=job.state.value == "done",
+            coalesced=self.queue.coalesced > before,
+        )
+
+    def status(self, job_id: str) -> Job:
+        """The live job record (state, attempts, progress counters, error)."""
+        return self.queue.get(job_id)
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        """The finished job's result payload; raises until it is ``DONE``."""
+        return self.queue.result(job_id)
+
+    def summary(self, job_id: str) -> SummaryMetrics:
+        """A scenario job's summary, reconstructed exactly from the cache."""
+        payload = self.result(job_id)
+        if payload.get("kind") != "scenario":
+            raise ServiceError(
+                f"job {job_id} is a {payload.get('kind')!r} job; summary() "
+                "serves scenario jobs (campaigns expose csv/text)"
+            )
+        return SummaryMetrics.from_dict(payload["summary"])
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a pending/running job; False if it already finished."""
+        return self.queue.cancel(job_id)
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job is terminal; returns its record."""
+        return self.queue.wait(job_id, timeout=timeout)
+
+    def close(self) -> None:
+        self.queue.close()
+
+    def __enter__(self) -> "CampaignService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -461,3 +461,130 @@ class TestBench:
     def test_bench_unknown_scenario_is_clean_error(self, capsys):
         assert main(["bench", "--scenarios", "nope"]) == 1
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestService:
+    """The spool transport: submit -> serve -> status/result, in-process."""
+
+    SPEC = '{"preset": "classroom_homogeneous", "overrides": {"duration": 40.0}}'
+
+    def _serve_once(self, root):
+        return main(
+            [
+                "serve",
+                "--dir", str(root),
+                "--workers", "1",
+                "--max-jobs", "1",
+                "--idle-exit", "2",
+                "--poll", "0.05",
+            ]
+        )
+
+    def test_spool_round_trip(self, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "svc"
+        assert main(["submit", "--dir", str(root), self.SPEC]) == 0
+        assert "submitted" in capsys.readouterr().out
+
+        assert self._serve_once(root) == 0
+        out = capsys.readouterr().out
+        assert "job-000001" in out
+        assert "--max-jobs" in out
+
+        receipts = list((root / "receipts").glob("sub-*.json"))
+        assert len(receipts) == 1
+        receipt = json.loads(receipts[0].read_text(encoding="utf-8"))
+        assert receipt["kind"] == "scenario"
+        assert receipt["cached"] is False
+        job_id = receipt["job_id"]
+
+        assert main(["submit", "--dir", str(root), "--status", job_id]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["state"] == "done"
+        assert status["key"] == receipt["key"]
+        assert "result" not in status and "request" not in status
+
+        assert main(["submit", "--dir", str(root), "--result", job_id]) == 0
+        out = capsys.readouterr().out
+        assert "summary" in out
+        assert "completion_rate" in out
+
+    def test_second_serve_session_hits_the_cache(self, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "svc"
+        assert main(["submit", "--dir", str(root), self.SPEC]) == 0
+        assert self._serve_once(root) == 0
+        capsys.readouterr()
+
+        # Same spec, fresh server process: served from the on-disk cache.
+        assert main(["submit", "--dir", str(root), self.SPEC]) == 0
+        assert self._serve_once(root) == 0
+        assert "cache hit" in capsys.readouterr().out
+        receipts = sorted((root / "receipts").glob("sub-*.json"))
+        cached = [
+            json.loads(p.read_text(encoding="utf-8"))["cached"]
+            for p in receipts
+        ]
+        assert sorted(cached) == [False, True]
+
+    def test_rejected_submission_writes_error_receipt(self, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "svc"
+        assert main(["submit", "--dir", str(root), '{"frobnicate": 1}']) == 0
+        code = main(
+            [
+                "serve",
+                "--dir", str(root),
+                "--workers", "1",
+                "--idle-exit", "0.5",
+                "--poll", "0.05",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "rejected" in err
+        receipts = list((root / "receipts").glob("sub-*.json"))
+        assert len(receipts) == 1
+        body = json.loads(receipts[0].read_text(encoding="utf-8"))
+        assert "cannot classify" in body["error"]
+
+    def test_submit_requires_spec_or_query(self, tmp_path, capsys):
+        assert main(["submit", "--dir", str(tmp_path / "svc")]) == 2
+        assert "provide a spec" in capsys.readouterr().err
+
+    def test_submit_rejects_spec_plus_query(self, tmp_path, capsys):
+        code = main(
+            ["submit", "--dir", str(tmp_path / "svc"), "--status",
+             "job-000001", self.SPEC]
+        )
+        assert code == 2
+        assert "do not take a spec" in capsys.readouterr().err
+
+    def test_status_of_unknown_job(self, tmp_path, capsys):
+        code = main(
+            ["submit", "--dir", str(tmp_path / "svc"), "--status", "job-9"]
+        )
+        assert code == 1
+        assert "no such job" in capsys.readouterr().err
+
+    def test_wait_without_server_times_out(self, tmp_path, capsys):
+        code = main(
+            ["submit", "--dir", str(tmp_path / "svc"), self.SPEC,
+             "--wait", "0.3"]
+        )
+        assert code == 1
+        assert "no receipt" in capsys.readouterr().err
+
+    def test_bare_word_spec_is_a_preset_reference(self, tmp_path, capsys):
+        import json
+
+        root = tmp_path / "svc"
+        assert main(["submit", "--dir", str(root), "classroom_homogeneous"]) == 0
+        capsys.readouterr()
+        submitted = list((root / "inbox").glob("sub-*.json"))
+        assert len(submitted) == 1
+        body = json.loads(submitted[0].read_text(encoding="utf-8"))
+        assert body == {"preset": "classroom_homogeneous"}

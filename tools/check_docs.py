@@ -173,7 +173,11 @@ def main(argv: list[str] | None = None) -> int:
     # The doctest gate only bites if the snippets exist: losing them all to
     # an over-eager edit should fail loudly, not pass vacuously. Minimums
     # track the guide's growth (the migration chapter §6 added its own).
-    for doc, minimum in (("README.md", 3), (Path("docs") / "FEDERATION.md", 12)):
+    for doc, minimum in (
+        ("README.md", 3),
+        (Path("docs") / "FEDERATION.md", 12),
+        (Path("docs") / "SERVICE.md", 12),
+    ):
         path = root / doc
         if not path.exists():
             errors.append(f"{doc}: missing (doctest-gated document)")
