@@ -172,6 +172,58 @@ def test_bench_migration_throughput(benchmark, results_dir):
     assert events_per_sec > 1000
 
 
+def test_bench_trace_replay_throughput(benchmark, results_dir):
+    """Trace tier: the trace_replay preset, whose workload comes from the
+    full TraceSpec ingestion pipeline (CSV parse, rescale, quantile
+    binning, deadline synthesis) before the engine runs. Each round builds
+    the scenario fresh so ingestion cost is measured, not memoised away —
+    guards the import layer staying cheap relative to the simulation."""
+    def run_from_cold():
+        return build_scenario("trace_replay").run()
+
+    result = benchmark.pedantic(
+        run_from_cold, rounds=3, iterations=1, warmup_rounds=1
+    )
+    events_per_sec = result.events_processed / benchmark.stats["mean"]
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    record_result_line(
+        results_dir / "engine_throughput.txt",
+        "trace tier (ingestion + replay)",
+        f"{result.events_processed} events, "
+        f"{result.summary.total_tasks} tasks, "
+        f"{events_per_sec:,.0f} events/s",
+    )
+    assert result.summary.total_tasks == 420
+    assert events_per_sec > 500
+
+
+def test_bench_cross_traffic_throughput(benchmark, results_dir):
+    """Cross-traffic tier: the diurnal_wan preset, where every WAN
+    transfer is re-integrated at each utilisation epoch (diurnal ticks on
+    the FIFO uplink, MMPP switches on the PS uplink). Guards the residual-
+    capacity machinery: background traffic must not knock the contended-WAN
+    engine out of its throughput envelope."""
+    scenario = build_scenario("diurnal_wan")
+    result = benchmark.pedantic(
+        scenario.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    events_per_sec = result.events_processed / benchmark.stats["mean"]
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    record_result_line(
+        results_dir / "engine_throughput.txt",
+        "cross-traffic tier (diurnal + mmpp uplinks)",
+        f"{result.events_processed} events, "
+        f"{result.summary.total_tasks} tasks, "
+        f"{result.offload_rate:.0%} offloaded, "
+        f"{events_per_sec:,.0f} events/s",
+    )
+    assert result.summary.total_tasks > 500
+    assert 0.0 < result.offload_rate < 1.0
+    assert events_per_sec > 1000
+
+
 def test_bench_scale_tier_throughput(benchmark, results_dir):
     """Scale tier: 96 machines, ~11k tasks — the registered scale_campus
     preset, run once per round (the workload is large enough that a single

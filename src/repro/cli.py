@@ -17,6 +17,9 @@ Subcommands mirror the E2C GUI surface:
 * ``e2c-sim submit`` — drop a scenario/campaign spec (or preset name) into
   a service directory; optionally wait for and print the result
   (``--status``/``--result`` query existing jobs).
+* ``e2c-sim trace`` — the cluster-trace ingestion layer: ``inspect`` a raw
+  Google/Azure-style CSV export, ``convert`` it into the canonical workload
+  format against an EET, or ``replay`` a trace-driven scenario.
 * ``e2c-sim bench`` — engine-throughput benchmark over registered scenarios
   (defaults to the scale tier).
 * ``e2c-sim assignment`` — regenerate the class-assignment figures (5/6/7).
@@ -264,6 +267,118 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--result", dest="result_job", default=None, metavar="JOB_ID",
         help="print the result of a finished job and exit",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect, convert or replay cluster-trace CSVs",
+        description=(
+            "Work with raw cluster-trace exports (Google/Azure-style "
+            "CSVs). 'inspect' summarises a file before you commit to an "
+            "import recipe; 'convert' runs the full TraceSpec pipeline "
+            "against an EET and writes a canonical workload CSV; 'replay' "
+            "runs a trace-driven scenario (a preset such as trace_replay, "
+            "or a scenario JSON with a \"trace\" section) end to end."
+        ),
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_spec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "trace", metavar="TRACE",
+            help="trace CSV path, or data:NAME for a bundled sample "
+            "(e.g. data:google_cluster_sample.csv)",
+        )
+        p.add_argument(
+            "--columns", default=None, metavar="ROLE=COL[,ROLE=COL...]",
+            help="map canonical roles (task_id, task_type, arrival_time, "
+            "deadline) to source column names, e.g. "
+            "arrival_time=submit_time_us,task_id=job_id",
+        )
+        p.add_argument(
+            "--time-unit", type=float, default=1.0, metavar="SECONDS",
+            help="seconds per source time unit (1e-6 for microsecond "
+            "timestamps; default 1)",
+        )
+        p.add_argument(
+            "--time-offset", type=float, default=None, metavar="SECONDS",
+            help="rebase: subtract this many rescaled seconds "
+            "(default: earliest arrival)",
+        )
+        p.add_argument(
+            "--window", default=None, metavar="START:END",
+            help="keep arrivals in [START, END) rebased seconds and "
+            "re-shift to 0",
+        )
+        p.add_argument(
+            "--time-scale", type=float, default=1.0, metavar="FACTOR",
+            help="compress (<1) or stretch (>1) the kept arrival span",
+        )
+        p.add_argument(
+            "--bin-column", default=None, metavar="COL",
+            help="numeric source column to quantile-bin into EET task "
+            "types when the trace has no task-type column",
+        )
+        p.add_argument(
+            "--slack-factor", type=float, default=1.0,
+            help="deadline synthesis: deadline = arrival + slack * "
+            "relative_deadline (default 1)",
+        )
+        p.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="default relative deadline for task types lacking one",
+        )
+        p.add_argument(
+            "--sample", type=float, default=1.0, metavar="FRACTION",
+            help="keep each row with this probability (deterministic "
+            "under --seed; default 1)",
+        )
+        p.add_argument(
+            "--max-tasks", type=int, default=None, metavar="N",
+            help="truncate to the first N kept tasks",
+        )
+
+    t_inspect = trace_sub.add_parser(
+        "inspect", help="summarise a raw trace CSV (rows, columns, spans)"
+    )
+    _add_spec_args(t_inspect)
+
+    t_convert = trace_sub.add_parser(
+        "convert",
+        help="import a trace into a canonical workload CSV against an EET",
+    )
+    _add_spec_args(t_convert)
+    t_convert.add_argument(
+        "--eet", type=Path, required=True,
+        help="EET CSV giving the task-type universe",
+    )
+    t_convert.add_argument(
+        "--out", type=Path, required=True, help="output workload CSV"
+    )
+    t_convert.add_argument(
+        "--seed", type=int, default=None,
+        help="seed for deterministic down-sampling (--sample)",
+    )
+
+    t_replay = trace_sub.add_parser(
+        "replay",
+        help="run a trace-driven scenario and print its summary",
+    )
+    t_replay.add_argument(
+        "--scenario", default="trace_replay",
+        help="trace-driven preset name or scenario JSON file "
+        "(default: trace_replay)",
+    )
+    t_replay.add_argument(
+        "--scheduler", default=None,
+        help="override the scenario's scheduling policy",
+    )
+    t_replay.add_argument("--seed", type=int, default=None)
+    t_replay.add_argument(
+        "--report",
+        choices=["full", "task", "machine", "summary"],
+        default="summary",
+        help="which report to print",
     )
 
     bench = sub.add_parser(
@@ -776,6 +891,103 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return _print_job_result(body)
 
 
+def _trace_spec_from_args(args: argparse.Namespace):
+    from .tasks.trace_io import TraceSpec
+
+    columns: dict[str, str] = {}
+    if args.columns:
+        for pair in _split_csv(args.columns):
+            role, _, column = pair.partition("=")
+            if not column:
+                raise ConfigurationError(
+                    f"--columns entries must be ROLE=COL, got {pair!r}"
+                )
+            columns[role.strip()] = column.strip()
+    window = None
+    if args.window is not None:
+        start, _, end = args.window.partition(":")
+        try:
+            window = (float(start), float(end))
+        except ValueError:
+            raise ConfigurationError(
+                f"--window must be START:END seconds, got {args.window!r}"
+            ) from None
+    return TraceSpec(
+        path=args.trace,
+        columns=columns,
+        time_unit=args.time_unit,
+        time_offset=args.time_offset,
+        window=window,
+        time_scale=args.time_scale,
+        bin_column=args.bin_column,
+        slack_factor=args.slack_factor,
+        default_relative_deadline=args.deadline,
+        sample=args.sample,
+        max_tasks=args.max_tasks,
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "inspect":
+        info = _trace_spec_from_args(args).describe()
+        print(f"trace    {info['path']}")
+        print(f"rows     {info['rows']}")
+        print(f"columns  {', '.join(info['columns'])}")
+        print(
+            f"arrivals {info['arrival_min']:.6g} .. {info['arrival_max']:.6g} "
+            f"s (span {info['arrival_max'] - info['arrival_min']:.6g} s "
+            "after --time-unit rescale)"
+        )
+        if "type_counts" in info:
+            print("task types:")
+            for name, count in info["type_counts"].items():
+                print(f"  {name:<20} {count}")
+        if "bin_quartiles" in info:
+            quartiles = ", ".join(f"{q:.6g}" for q in info["bin_quartiles"])
+            print(f"bin column {info['bin_column']!r} quartiles: {quartiles}")
+        return 0
+
+    if args.trace_command == "convert":
+        eet = EETMatrix.read_csv(args.eet)
+        spec = _trace_spec_from_args(args)
+        workload = spec.build_workload(eet, seed=args.seed)
+        write_workload_csv(workload, args.out)
+        print(f"wrote {len(workload)} tasks to {args.out}")
+        return 0
+
+    # replay: run a trace-driven scenario (preset name or JSON file).
+    source = Path(args.scenario)
+    if source.exists() or source.suffix == ".json":
+        from dataclasses import replace
+
+        scenario = Scenario.from_json(source)
+        if args.scheduler is not None:
+            scenario = replace(
+                scenario, scheduler=args.scheduler, scheduler_params={}
+            )
+        if args.seed is not None:
+            scenario = replace(scenario, seed=args.seed)
+    else:
+        from .scenarios import build_scenario
+
+        overrides: dict = {}
+        if args.scheduler is not None:
+            overrides["scheduler"] = args.scheduler
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        scenario = build_scenario(args.scenario, **overrides)
+    if scenario.trace is None:
+        print(
+            f"error: scenario {scenario.name!r} is not trace-driven "
+            "(it has no \"trace\" section); use 'e2c-sim run' instead",
+            file=sys.stderr,
+        )
+        return 2
+    result = scenario.run()
+    print(result.reports.by_name(args.report).to_text())
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json as json_module
     import time
@@ -887,6 +1099,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "trace": _cmd_trace,
     "bench": _cmd_bench,
     "assignment": _cmd_assignment,
     "table1": _cmd_table1,

@@ -28,7 +28,7 @@ from ..scheduling.overhead import SchedulingOverhead
 from ..scheduling.registry import create_scheduler
 from ..tasks.generator import TaskTypeSpec, WorkloadGenerator
 from ..tasks.task_type import TaskType
-from ..tasks.trace_io import read_workload_csv
+from ..tasks.trace_io import TraceSpec, read_workload_csv
 from ..tasks.workload import Workload
 from .errors import ConfigurationError
 from .jsonio import load_json_source
@@ -61,10 +61,14 @@ class Scenario:
         Machine-queue capacity for batch mode (UNBOUNDED default; immediate
         mode always forces UNBOUNDED).
     workload:
-        Explicit task trace; mutually exclusive with ``generator``.
+        Explicit task trace; exactly one of ``workload``, ``generator``,
+        ``trace`` must be set.
     generator:
         Recipe dict: ``{"duration": 400, "intensity": "high",
         "specs": [...], "n_tasks": optional}``.
+    trace:
+        A :class:`~repro.tasks.trace_io.TraceSpec` (or its dict form)
+        importing a cluster-trace CSV at build time.
     power_profiles:
         Per machine type; defaults to zero-power profiles.
     seed:
@@ -88,6 +92,7 @@ class Scenario:
     queue_capacity: float = UNBOUNDED
     workload: Workload | None = None
     generator: dict | None = None
+    trace: TraceSpec | None = None
     power_profiles: dict[str, PowerProfile] = field(default_factory=dict)
     seed: int | None = None
     drop_on_deadline: bool = True
@@ -101,9 +106,15 @@ class Scenario:
     name: str = "scenario"
 
     def __post_init__(self) -> None:
-        if (self.workload is None) == (self.generator is None):
+        if self.trace is not None and not isinstance(self.trace, TraceSpec):
+            self.trace = TraceSpec.from_dict(self.trace)
+        sources = sum(
+            x is not None for x in (self.workload, self.generator, self.trace)
+        )
+        if sources != 1:
             raise ConfigurationError(
-                "exactly one of 'workload' or 'generator' must be provided"
+                "exactly one of 'workload', 'generator' or 'trace' must be "
+                f"provided, got {sources}"
             )
         unknown = set(self.machine_counts) - set(self.eet.machine_type_names)
         if unknown:
@@ -153,6 +164,22 @@ class Scenario:
         """
         if self.workload is not None:
             return self.workload.fresh_copy()
+        if self.trace is not None:
+            cache_key = (
+                replication,
+                self.seed,
+                id(self.eet),
+                repr(self.trace),
+            )
+            cached = getattr(self, "_workload_cache", None)
+            if cached is not None and cached[0] == cache_key:
+                return cached[1].fresh_copy()
+            workload = self.trace.build_workload(
+                self.eet, seed=self.seed, replication=replication
+            )
+            workload.validate_against_eet(self.eet)
+            self._workload_cache = (cache_key, workload)
+            return workload.fresh_copy()
         assert self.generator is not None
         cache_key = (
             replication,
@@ -269,17 +296,18 @@ class Scenario:
 
     def to_dict(self) -> dict[str, Any]:
         if self.workload is not None:
-            workload_spec: Any = {
-                "tasks": [
-                    {
-                        "task_id": t.id,
-                        "task_type": t.task_type.name,
-                        "arrival_time": t.arrival_time,
-                        "deadline": t.deadline,
-                    }
-                    for t in self.workload
-                ]
-            }
+            task_rows = []
+            for t in self.workload:
+                row: dict[str, Any] = {
+                    "task_id": t.id,
+                    "task_type": t.task_type.name,
+                    "arrival_time": t.arrival_time,
+                    "deadline": t.deadline,
+                }
+                if t.extras:
+                    row["extras"] = {k: v for k, v in t.extras}
+                task_rows.append(row)
+            workload_spec: Any = {"tasks": task_rows}
         else:
             workload_spec = None
         return {
@@ -306,6 +334,7 @@ class Scenario:
             ),
             "workload": workload_spec,
             "generator": self.generator,
+            "trace": None if self.trace is None else self.trace.to_dict(),
             "power_profiles": {
                 name: {
                     "idle_watts": p.idle_watts,
@@ -390,6 +419,7 @@ class Scenario:
             queue_capacity=UNBOUNDED if capacity is None else capacity,
             workload=workload,
             generator=data.get("generator"),
+            trace=data.get("trace"),
             power_profiles=power,
             seed=data.get("seed"),
             drop_on_deadline=data.get("drop_on_deadline", True),

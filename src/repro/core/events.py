@@ -32,6 +32,7 @@ class EventType(enum.Enum):
     TASK_MIGRATION = "task_migration"
     TASK_DEADLINE = "task_deadline"
     MACHINE_FAILURE = "machine_failure"
+    CROSS_TRAFFIC = "cross_traffic"
     CONTROL = "control"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -47,7 +48,10 @@ class EventType(enum.Enum):
 #: arrival queues behind it) but precede deadlines (a task migrated and
 #: expiring at the same instant is swept at its destination, not lost);
 #: failures follow deadlines (a task completing or expiring at the failure
-#: instant resolves before the machine dies).
+#: instant resolves before the machine dies); WAN cross-traffic capacity
+#: changes fire after everything that was scheduled under the outgoing
+#: rate (a serialisation finishing exactly at an epoch boundary completes
+#: under the rate it was integrated with) but before CONTROL markers.
 EVENT_PRIORITY: dict[EventType, int] = {
     EventType.TASK_COMPLETION: 0,
     EventType.MACHINE_REPAIR: 1,
@@ -57,7 +61,8 @@ EVENT_PRIORITY: dict[EventType, int] = {
     EventType.TASK_MIGRATION: 5,
     EventType.TASK_DEADLINE: 6,
     EventType.MACHINE_FAILURE: 7,
-    EventType.CONTROL: 8,
+    EventType.CROSS_TRAFFIC: 8,
+    EventType.CONTROL: 9,
 }
 
 # Mirror the priority table onto the members: Event.__init__ runs for every

@@ -107,10 +107,15 @@ class FederatedSimulator:
         # Independent substreams: origin assignment, gateway draws, one per
         # shard — so adding a draw to one component never perturbs another,
         # and sweeping the gateway policy never changes where tasks arrive.
+        wan_seed: int | None
         if isinstance(seed, np.random.Generator):
-            children = spawn(seed, len(spec.clusters) + 2)
+            # Spawn keys are sequential, so asking for one extra child
+            # (the WAN cross-traffic root) leaves the first n+2 substreams
+            # exactly where pre-cross-traffic builds drew them.
+            children = spawn(seed, len(spec.clusters) + 3)
             origins_rng, self._gateway_rng = children[0], children[1]
-            shard_rngs = children[2:]
+            shard_rngs = children[2:-1]
+            wan_seed = int(children[-1].integers(0, 2**31 - 1))
         else:
             origins_rng = make_rng(derive_seed(seed, "federation", "origins"))
             self._gateway_rng = make_rng(
@@ -120,6 +125,7 @@ class FederatedSimulator:
                 make_rng(derive_seed(seed, "federation", "shard", i))
                 for i in range(len(spec.clusters))
             ]
+            wan_seed = derive_seed(seed, "federation", "crosstraffic")
 
         self.gateway = create_gateway(spec.gateway, **spec.gateway_params)
         self.gateway.reset()
@@ -183,7 +189,9 @@ class FederatedSimulator:
         self._offloaded = 0
         # WAN link channels: contention disciplines, per-link energy, and
         # the cancellation handles for tasks still crossing the WAN.
-        self._wan = WanManager(self.topology, self.events, spec.names)
+        self._wan = WanManager(
+            self.topology, self.events, spec.names, seed=wan_seed
+        )
         self._transfers: dict[int, WanTransfer] = {}
         # Mid-queue migration: a periodic rebalance pass sharing the WAN
         # channels above. None when the spec does not ask for it — the
@@ -345,6 +353,9 @@ class FederatedSimulator:
                 # The rebalance clock: run one mid-queue migration pass.
                 if self._rebalancer is not None:
                     self._rebalancer.on_tick(self.now)
+            elif event.type is EventType.CROSS_TRAFFIC:
+                # A WAN link entered its next background-utilisation epoch.
+                WanManager.on_cross_traffic(event, self.now)
             elif event.type is EventType.CONTROL:  # pragma: no cover - hook
                 pass
             else:  # pragma: no cover - defensive

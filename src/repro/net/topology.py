@@ -19,8 +19,12 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from ..core.errors import ConfigurationError
+from .crosstraffic import DiurnalTraffic, MmppTraffic, cross_traffic_from_spec
 
 __all__ = ["Link", "StarTopology", "InterClusterTopology", "CONTENTION_MODES"]
+
+#: Either cross-traffic spec a WAN link may carry (see crosstraffic.py).
+CrossTraffic = DiurnalTraffic | MmppTraffic
 
 
 #: Contention disciplines a WAN link may run (see :mod:`repro.net.wan`).
@@ -49,6 +53,14 @@ class Link:
         Electrical power the link port draws while idle and while actively
         serialising at least one transfer; integrated over the run into the
         per-link energy report (:class:`repro.net.wan.LinkUsage`).
+    ``cross_traffic``
+        Optional background-utilisation process
+        (:class:`~repro.net.crosstraffic.DiurnalTraffic` or
+        :class:`~repro.net.crosstraffic.MmppTraffic`): simulated transfers
+        then serve at the time-varying residual capacity
+        ``bandwidth * (1 - u(t))``. Requires a queueing discipline
+        (``contention`` of ``"fifo"`` or ``"ps"``) — the legacy ``"none"``
+        model has no shared pipe for the background load to occupy.
     """
 
     latency: float = 0.0       # seconds
@@ -57,6 +69,7 @@ class Link:
     energy_per_mb: float = 0.0  # J/MB serialised
     idle_watts: float = 0.0
     busy_watts: float = 0.0
+    cross_traffic: "CrossTraffic | None" = None
 
     def __post_init__(self) -> None:
         if self.latency < 0:
@@ -81,6 +94,13 @@ class Link:
             raise ConfigurationError(
                 f"link power must be >= 0: idle={self.idle_watts}, "
                 f"busy={self.busy_watts}"
+            )
+        if self.cross_traffic is not None and self.contention == "none":
+            raise ConfigurationError(
+                "cross_traffic needs a queueing discipline (contention "
+                "'fifo' or 'ps'): the 'none' model lets transfers overlap "
+                "for free, so there is no shared pipe for background "
+                "traffic to occupy"
             )
 
     def delay_for(self, megabytes: float) -> float:
@@ -134,11 +154,13 @@ class Link:
             out["idle_watts"] = self.idle_watts
         if self.busy_watts:
             out["busy_watts"] = self.busy_watts
+        if self.cross_traffic is not None:
+            out["cross_traffic"] = self.cross_traffic.to_spec()
         return out
 
     _SPEC_KEYS = frozenset(
         ("latency", "bandwidth", "contention", "energy_per_mb",
-         "idle_watts", "busy_watts")
+         "idle_watts", "busy_watts", "cross_traffic")
     )
 
     @classmethod
@@ -151,6 +173,7 @@ class Link:
                     f"unknown link spec key(s) {sorted(unknown)}; "
                     f"allowed: {sorted(cls._SPEC_KEYS)}"
                 )
+            raw_traffic = spec.get("cross_traffic")
             return cls(
                 latency=float(spec.get("latency", 0.0)),
                 bandwidth=float(spec.get("bandwidth", 0.0)),
@@ -158,6 +181,11 @@ class Link:
                 energy_per_mb=float(spec.get("energy_per_mb", 0.0)),
                 idle_watts=float(spec.get("idle_watts", 0.0)),
                 busy_watts=float(spec.get("busy_watts", 0.0)),
+                cross_traffic=(
+                    None
+                    if raw_traffic is None
+                    else cross_traffic_from_spec(raw_traffic)
+                ),
             )
         return cls(float(spec[0]), float(spec[1]))
 
@@ -286,6 +314,7 @@ class InterClusterTopology:
         energy_per_mb: float = 0.0,
         idle_watts: float = 0.0,
         busy_watts: float = 0.0,
+        cross_traffic: "CrossTraffic | None" = None,
     ) -> "InterClusterTopology":
         """Set the directed src→dst link, with contention/energy (chainable)."""
         if src == dst:
@@ -299,6 +328,7 @@ class InterClusterTopology:
             energy_per_mb=energy_per_mb,
             idle_watts=idle_watts,
             busy_watts=busy_watts,
+            cross_traffic=cross_traffic,
         )
         return self
 
@@ -319,6 +349,7 @@ class InterClusterTopology:
         energy_per_mb: float = 0.0,
         idle_watts: float = 0.0,
         busy_watts: float = 0.0,
+        cross_traffic: "CrossTraffic | None" = None,
     ) -> "InterClusterTopology":
         """Same WAN characteristics between every pair of clusters.
 
@@ -337,6 +368,7 @@ class InterClusterTopology:
                 energy_per_mb=energy_per_mb,
                 idle_watts=idle_watts,
                 busy_watts=busy_watts,
+                cross_traffic=cross_traffic,
             )
         )
 

@@ -35,6 +35,13 @@ links the busy time is the *sum* of individual serialisation times (the
 discipline lets transfers overlap for free, so there is no shared busy
 interval to integrate — documented approximation).
 
+Links may additionally carry a background **cross-traffic** process (see
+:mod:`repro.net.crosstraffic`): the channel then serves transfers at the
+residual capacity ``bandwidth * (1 - u(t))``, re-integrating in-flight
+payloads at every utilisation epoch via ``CROSS_TRAFFIC`` tick events that
+exist only while the pipe is busy. Channels without cross-traffic take the
+exact legacy arithmetic paths, so historical runs stay bit-identical.
+
 Deadline cancellation is exact for every phase: a queued transfer is lazily
 removed, an in-service transfer frees the link immediately (FIFO starts the
 next queued transfer; PS re-shares the bandwidth), and a propagating
@@ -52,6 +59,8 @@ from typing import TYPE_CHECKING
 
 from ..core.errors import SimulationStateError
 from ..core.events import Event, EventType
+from ..core.rng import derive_seed
+from .crosstraffic import CrossTrafficState
 from .topology import InterClusterTopology, Link
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -202,6 +211,10 @@ class LinkChannel:
         "_active",
         "_last_update",
         "_next_finish",
+        "_rate",
+        "_traffic",
+        "_tick",
+        "_drained_at",
         "busy_time",
         "wait_time",
         "transfer_energy",
@@ -217,6 +230,7 @@ class LinkChannel:
         link: Link,
         events: "EventQueue",
         label: str | None = None,
+        cross_traffic: "CrossTrafficState | None" = None,
     ) -> None:
         self.key = key
         self.label = label if label is not None else f"{key[0]}->{key[1]}"
@@ -230,6 +244,14 @@ class LinkChannel:
         self._active: list[WanTransfer] = []
         self._last_update = 0.0
         self._next_finish: Event | None = None
+        # Cross-traffic state. ``_rate`` is the residual capacity (MB/s)
+        # simulated transfers currently serve at; without cross-traffic it
+        # is exactly ``link.bandwidth`` forever, so the drain/reschedule
+        # arithmetic below is bit-identical to the unmodulated engine.
+        self._rate = link.bandwidth
+        self._traffic = cross_traffic
+        self._tick: Event | None = None
+        self._drained_at = 0.0
         # accounting
         self.busy_time = 0.0
         self.wait_time = 0.0
@@ -264,21 +286,113 @@ class LinkChannel:
         """
         link = self.link
         if link.contention == "fifo":
-            backlog = self._queued_mb / link.bandwidth
+            backlog = self._queued_mb / self._rate
             head = self._serving
             if head is not None and head.service_event is not None:
                 backlog += max(0.0, head.service_event.time - now)
-            return backlog + link.delay_for(megabytes)
+            return backlog + link.latency + self._service_time(megabytes)
         if link.contention == "ps":
             share = len(self._active) + 1
-            return link.latency + link.service_time(megabytes) * share
+            return link.latency + self._service_time(megabytes) * share
         return link.delay_for(megabytes)
+
+    def _service_time(self, megabytes: float) -> float:
+        """Serialisation time at the current residual capacity.
+
+        Identical to :meth:`~repro.net.topology.Link.service_time` while no
+        cross-traffic is attached (the rate then equals the bandwidth).
+        """
+        if self._rate > 0 and megabytes > 0:
+            return megabytes / self._rate
+        return 0.0
+
+    # -- background cross-traffic -------------------------------------------------------
+
+    def _sync_cross_traffic(self, now: float) -> None:
+        """Apply the background utilisation in effect at *now*.
+
+        Called before any submit/tick under the old rate has been integrated
+        up to *now*; cheap no-op while the utilisation epoch is unchanged.
+        """
+        traffic = self._traffic
+        if traffic is None:
+            return
+        rate = self.link.bandwidth * (1.0 - traffic.utilisation_at(now))
+        if rate != self._rate:
+            self._set_rate(rate, now)
+
+    def _set_rate(self, rate: float, now: float) -> None:
+        """Switch the residual capacity, re-integrating in-flight payloads."""
+        if self.link.contention == "ps":
+            self._elapse(now)  # drain under the outgoing rate first
+            self._rate = rate
+            if self._active:
+                self._reschedule(now)
+            return
+        # FIFO: drain the serving transfer under the outgoing rate, then
+        # re-plan its completion at the new one.
+        serving = self._serving
+        if serving is not None:
+            self._drain_serving(now)
+        self._rate = rate
+        if serving is not None:
+            if serving.service_event is not None:
+                self._events.cancel(serving.service_event)
+            serving.service_event = self._events.push(
+                Event(
+                    now + self._service_time(max(serving.remaining_mb, 0.0)),
+                    EventType.LINK_TRANSFER,
+                    self,
+                )
+            )
+
+    def _drain_serving(self, now: float) -> None:
+        """Integrate the FIFO head's payload drain since the last update."""
+        serving = self._serving
+        if serving is not None:
+            dt = now - self._drained_at
+            if dt > 0:
+                serving.remaining_mb = max(
+                    serving.remaining_mb - dt * self._rate, 0.0
+                )
+        self._drained_at = now
+
+    def _busy(self) -> bool:
+        """At least one transfer is serialising on this pipe."""
+        return self._serving is not None or bool(self._active)
+
+    def _schedule_tick(self, now: float) -> None:
+        """Plan the next utilisation-change event while the pipe is busy.
+
+        An idle channel schedules nothing — the process is advanced lazily
+        at the next submit — so cross-traffic never keeps the future-event
+        list non-empty after the workload drains.
+        """
+        traffic = self._traffic
+        if traffic is None or self._tick is not None or not self._busy():
+            return
+        self._tick = self._events.push(
+            Event(traffic.next_boundary(now), EventType.CROSS_TRAFFIC, self)
+        )
+
+    def _cancel_tick(self) -> None:
+        if self._tick is not None:
+            self._events.cancel(self._tick)
+            self._tick = None
+
+    def on_traffic_tick(self, now: float) -> None:
+        """A CROSS_TRAFFIC event fired: enter the next utilisation epoch."""
+        self._tick = None
+        self._sync_cross_traffic(now)
+        self._schedule_tick(now)
 
     # -- submission --------------------------------------------------------------------
 
     def submit(self, transfer: WanTransfer, now: float) -> None:
         """Admit a transfer; schedules whatever event its discipline needs."""
         link = self.link
+        if self._traffic is not None:
+            self._sync_cross_traffic(now)
         if link.contention == "fifo":
             if self._serving is None:
                 self._start_service(transfer, now)
@@ -286,6 +400,7 @@ class LinkChannel:
                 transfer.phase = TransferPhase.QUEUED
                 self._fifo.append(transfer)
                 self._queued_mb += transfer.megabytes
+            self._schedule_tick(now)
             return
         if link.contention == "ps":
             self._elapse(now)
@@ -293,6 +408,7 @@ class LinkChannel:
             transfer.started_at = now
             self._active.append(transfer)
             self._reschedule(now)
+            self._schedule_tick(now)
             return
         # "none": the legacy single delivery event, scheduled by the caller
         # (WanManager) so the event creation order matches PR 3 exactly.
@@ -304,9 +420,10 @@ class LinkChannel:
         transfer.phase = TransferPhase.SERVING
         transfer.started_at = now
         self.wait_time += now - transfer.submitted_at
+        self._drained_at = now
         transfer.service_event = self._events.push(
             Event(
-                now + self.link.service_time(transfer.megabytes),
+                now + self._service_time(transfer.remaining_mb),
                 EventType.LINK_TRANSFER,
                 self,
             )
@@ -330,7 +447,7 @@ class LinkChannel:
         if active:
             dt = now - self._last_update
             if dt > 0:
-                drained = dt * self.link.bandwidth / len(active)
+                drained = dt * self._rate / len(active)
                 for transfer in active:
                     transfer.remaining_mb -= drained
                 self.busy_time += dt
@@ -343,7 +460,7 @@ class LinkChannel:
         active = self._active
         if active:
             min_remaining = min(t.remaining_mb for t in active)
-            dt = max(min_remaining, 0.0) * len(active) / self.link.bandwidth
+            dt = max(min_remaining, 0.0) * len(active) / self._rate
             self._next_finish = self._events.push(
                 Event(now + dt, EventType.LINK_TRANSFER, self)
             )
@@ -364,6 +481,8 @@ class LinkChannel:
             self.busy_time += now - transfer.started_at
             self._finish_serialisation(transfer, now)
             self._start_next(now)
+            if self._traffic is not None and self._serving is None:
+                self._cancel_tick()
             return
         if link.contention == "ps":
             self._next_finish = None
@@ -377,6 +496,8 @@ class LinkChannel:
                 self._active.remove(transfer)
                 self._finish_serialisation(transfer, now)
             self._reschedule(now)
+            if self._traffic is not None and not self._active:
+                self._cancel_tick()
             return
         raise SimulationStateError(  # pragma: no cover - defensive
             f"link {self.label}: discipline {link.contention!r} "
@@ -433,12 +554,22 @@ class LinkChannel:
         elif phase is TransferPhase.SERVING:
             if link.contention == "fifo":
                 elapsed = now - transfer.started_at
-                service = link.service_time(transfer.megabytes)
-                fraction = elapsed / service if service > 0 else 1.0
+                if self._traffic is None:
+                    # Legacy arithmetic, kept verbatim: golden runs compare
+                    # these energies bit-for-bit.
+                    service = link.service_time(transfer.megabytes)
+                    fraction = elapsed / service if service > 0 else 1.0
+                    energy = link.transfer_energy(transfer.megabytes) * fraction
+                else:
+                    # Residual capacity varied mid-service: the drained
+                    # payload, not elapsed/service, is what crossed.
+                    self._drain_serving(now)
+                    crossed = transfer.megabytes - max(
+                        transfer.remaining_mb, 0.0
+                    )
+                    energy = link.energy_per_mb * crossed
                 self.busy_time += elapsed
-                self.transfer_energy += (
-                    link.transfer_energy(transfer.megabytes) * fraction
-                )
+                self.transfer_energy += energy
                 self.mb_abandoned += transfer.megabytes
                 if transfer.service_event is not None:
                     self._events.cancel(transfer.service_event)
@@ -452,6 +583,8 @@ class LinkChannel:
                 self.transfer_energy += link.energy_per_mb * crossed
                 self.mb_abandoned += transfer.megabytes
                 self._reschedule(now)
+            if self._traffic is not None and not self._busy():
+                self._cancel_tick()
         elif phase is TransferPhase.PROPAGATING:
             # Payload already crossed (and was charged); only the delivery
             # is abandoned.
@@ -519,10 +652,15 @@ class WanManager:
         topology: InterClusterTopology,
         events: "EventQueue",
         names: list[str],
+        seed: int | None = None,
     ) -> None:
         self._topology = topology
         self._events = events
         self._names = names
+        #: Root seed of the per-link cross-traffic substreams (each link's
+        #: MMPP dwell sequence is derived from it by link key, so adding a
+        #: link never perturbs another link's bursts).
+        self._seed = seed
         self._channels: dict[tuple[str, str], LinkChannel] = {}
         #: Sum of every transfer's in-WAN time ("none": planned delay at
         #: submit, PR 3 semantics; contended: actual time, at delivery or
@@ -560,13 +698,20 @@ class WanManager:
                 key[1],
                 key[0],
             ) not in self._topology.links
+            link = self._topology.link_between(src, dst)
+            state = None
+            if link.cross_traffic is not None:
+                state = link.cross_traffic.make_state(
+                    derive_seed(self._seed, "crosstraffic", key[0], key[1])
+                )
             channel = LinkChannel(
                 key,
-                self._topology.link_between(src, dst),
+                link,
                 self._events,
                 label=(
                     f"{key[0]}<->{key[1]}" if shared else f"{key[0]}->{key[1]}"
                 ),
+                cross_traffic=state,
             )
             self._channels[key] = channel
         return channel
@@ -664,6 +809,17 @@ class WanManager:
                 "expected a LinkChannel"
             )
         channel.on_fire(now)
+
+    @staticmethod
+    def on_cross_traffic(event: Event, now: float) -> None:
+        """Handle a CROSS_TRAFFIC event (payload is the owning channel)."""
+        channel = event.payload
+        if not isinstance(channel, LinkChannel):  # pragma: no cover
+            raise SimulationStateError(
+                f"CROSS_TRAFFIC event carries {type(channel).__name__}, "
+                "expected a LinkChannel"
+            )
+        channel.on_traffic_tick(now)
 
     # -- reporting ----------------------------------------------------------------------
 

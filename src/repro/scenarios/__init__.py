@@ -29,6 +29,7 @@ from .registry import (
     scenario_summaries,
 )
 from .scale import scale_campus, scale_datacenter, scale_heavytail
+from .traces import diurnal_wan, trace_replay
 
 __all__ = [
     "satellite_imaging",
@@ -42,6 +43,8 @@ __all__ = [
     "fed_heavytail",
     "fed_congested",
     "fed_rebalance",
+    "trace_replay",
+    "diurnal_wan",
     "register_scenario",
     "scenario_factory",
     "build_scenario",

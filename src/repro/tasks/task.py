@@ -93,6 +93,7 @@ class Task:
     origin_cluster: int | None = None      # federation: shard the task arrived at
     cluster: int | None = None             # federation: shard currently owning it
     migrations: int = 0                    # federation: mid-queue cross-cluster moves
+    extras: tuple[tuple[str, str], ...] = ()  # passthrough trace columns (name, raw value)
 
     def __post_init__(self) -> None:
         if self.id < 0:

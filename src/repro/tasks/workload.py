@@ -128,6 +128,7 @@ class Workload:
                 task_type=t.task_type,
                 arrival_time=t.arrival_time,
                 deadline=t.deadline,
+                extras=t.extras,
             )
             for t in self.tasks
         ]
@@ -148,6 +149,7 @@ class Workload:
                 arrival_time=t.arrival_time * time_factor,
                 deadline=t.arrival_time * time_factor
                 + (t.deadline - t.arrival_time),
+                extras=t.extras,
             )
             for t in self.tasks
         ]

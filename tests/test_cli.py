@@ -588,3 +588,92 @@ class TestService:
         assert len(submitted) == 1
         body = json.loads(submitted[0].read_text(encoding="utf-8"))
         assert body == {"preset": "classroom_homogeneous"}
+
+
+class TestTrace:
+    SAMPLE = "data:google_cluster_sample.csv"
+    MAPPING = "arrival_time=submit_time_us,task_id=job_id"
+
+    def test_inspect_bundled_sample(self, capsys):
+        code = main(
+            [
+                "trace", "inspect", self.SAMPLE,
+                "--columns", self.MAPPING,
+                "--time-unit", "1e-6",
+                "--bin-column", "cpu_request",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rows     420" in out
+        assert "cpu_request" in out
+        assert "quartiles" in out
+
+    def test_convert_writes_canonical_workload(self, csv_files, tmp_path, capsys):
+        eet_path, _ = csv_files
+        out_path = tmp_path / "converted.csv"
+        code = main(
+            [
+                "trace", "convert", self.SAMPLE,
+                "--columns", self.MAPPING,
+                "--time-unit", "1e-6",
+                "--bin-column", "cpu_request",
+                "--deadline", "60",
+                "--sample", "0.5",
+                "--seed", "7",
+                "--eet", str(eet_path),
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        header = out_path.read_text(encoding="utf-8").splitlines()[0]
+        assert header.startswith("task_id,task_type,arrival_time,deadline")
+        assert "source_id" in header
+
+    def test_convert_is_deterministic(self, csv_files, tmp_path, capsys):
+        eet_path, _ = csv_files
+        texts = []
+        for name in ("a.csv", "b.csv"):
+            path = tmp_path / name
+            assert main(
+                [
+                    "trace", "convert", self.SAMPLE,
+                    "--columns", self.MAPPING,
+                    "--time-unit", "1e-6",
+                    "--bin-column", "cpu_request",
+                    "--deadline", "60",
+                    "--sample", "0.5",
+                    "--seed", "7",
+                    "--eet", str(eet_path),
+                    "--out", str(path),
+                ]
+            ) == 0
+            texts.append(path.read_text(encoding="utf-8"))
+        assert texts[0] == texts[1]
+
+    def test_replay_preset_summary(self, capsys):
+        code = main(["trace", "replay", "--scenario", "trace_replay"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Summary Report" in out
+        assert "total_tasks               420" in out
+
+    def test_replay_rejects_non_trace_scenario(self, capsys):
+        code = main(["trace", "replay", "--scenario", "classroom_homogeneous"])
+        assert code == 2
+        assert "not trace-driven" in capsys.readouterr().err
+
+    def test_bad_columns_flag_is_clean_error(self, capsys):
+        code = main(
+            ["trace", "inspect", self.SAMPLE, "--columns", "nonsense"]
+        )
+        assert code == 1
+        assert "ROLE=COL" in capsys.readouterr().err
+
+    def test_bad_window_flag_is_clean_error(self, capsys):
+        code = main(
+            ["trace", "inspect", self.SAMPLE, "--window", "oops"]
+        )
+        assert code == 1
+        assert "START:END" in capsys.readouterr().err

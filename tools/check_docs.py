@@ -3,8 +3,8 @@
 
 Teaching docs rot in two ways: cross-references break when files move, and
 code blocks drift from the API they demonstrate. This checker catches both
-cheaply, and CI runs it (plus ``python -m doctest`` over README.md and
-docs/FEDERATION.md for the ``>>>`` snippets, whose *outputs* must match):
+cheaply, and CI runs it (plus ``python -m doctest`` over README.md and the
+docs/ guides for the ``>>>`` snippets, whose *outputs* must match):
 
 1. Every relative Markdown link ``[text](target)`` in the repo's root and
    ``docs/`` Markdown files must point at an existing file or directory
@@ -177,6 +177,7 @@ def main(argv: list[str] | None = None) -> int:
         ("README.md", 3),
         (Path("docs") / "FEDERATION.md", 12),
         (Path("docs") / "SERVICE.md", 12),
+        (Path("docs") / "WORKLOADS.md", 12),
     ):
         path = root / doc
         if not path.exists():
