@@ -99,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=None)
     run.add_argument(
+        "--parallel-shards", type=int, default=None, metavar="N",
+        help="run a federated scenario on N worker processes (conservative "
+        "lookahead windows; bit-identical to the serial engine; needs a "
+        "state-blind gateway such as RANDOM_SPLIT)",
+    )
+    run.add_argument(
         "--report",
         choices=["full", "task", "machine", "summary"],
         default="summary",
@@ -409,6 +415,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None, metavar="FILE",
         help="also write machine-readable results to FILE",
     )
+    bench.add_argument(
+        "--parallel-shards", type=int, default=None, metavar="N",
+        help="bench federated scenarios on N worker processes "
+        "(window-parallel engine) instead of the serial engine",
+    )
+    bench.add_argument(
+        "--profile", type=Path, default=None, metavar="FILE",
+        help="cProfile one extra (untimed) run per scenario, write the "
+        ".pstats to FILE and print the top-20 functions by cumulative "
+        "time; see docs/PERFORMANCE.md for the analysis recipe",
+    )
 
     assign = sub.add_parser(
         "assignment", help="regenerate the class-assignment figures (5/6/7)"
@@ -510,6 +527,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if args.parallel_shards is not None:
+        if args.animate:
+            print(
+                "error: --animate renders the serial event stream; drop it "
+                "to use --parallel-shards",
+                file=sys.stderr,
+            )
+            return 2
+        if scenario.federation is None:
+            print(
+                f"error: --parallel-shards needs a federated scenario; "
+                f"{scenario.name!r} is single-cluster",
+                file=sys.stderr,
+            )
+            return 2
+
     if args.animate:
         if scenario.federation is not None:
             n = len(scenario.federation.clusters)
@@ -537,6 +570,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         animator.play()
         result = animator.simulator.result()
+    elif args.parallel_shards is not None:
+        result = scenario.build_simulator(
+            parallel_workers=args.parallel_shards
+        ).run()
     else:
         result = scenario.run()
 
@@ -1012,11 +1049,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     results = []
     for name in names:
         scenario = build_scenario(name, **overrides)
+
+        def _one_run():
+            return scenario.build_simulator(
+                parallel_workers=args.parallel_shards
+            ).run()
+
+        if args.profile is not None:
+            # Profile an extra run that is NOT timed: instrumentation
+            # overhead would poison the throughput numbers below.
+            import cProfile
+            import pstats
+
+            out = args.profile
+            if len(names) > 1:
+                suffix = out.suffix or ".pstats"
+                out = out.with_name(f"{out.stem}-{name}{suffix}")
+            profiler = cProfile.Profile()
+            profiler.enable()
+            _one_run()
+            profiler.disable()
+            profiler.dump_stats(out)
+            print(f"profile ({name}): top 20 by cumulative time -> {out}")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(20)
+
         walls = []
         result = None
         for _ in range(args.repeat):
             t0 = time.perf_counter()
-            result = scenario.run()
+            result = _one_run()
             walls.append(time.perf_counter() - t0)
         assert result is not None
         events = result.events_processed

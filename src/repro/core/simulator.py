@@ -24,7 +24,9 @@ including starting idle machines and scheduling their completion events.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Sequence
 
 import numpy as np
@@ -36,6 +38,7 @@ from ..machines.machine import Machine
 from ..machines.machine_queue import UNBOUNDED
 from ..metrics.collector import MetricsCollector, SummaryMetrics
 from ..metrics.energy import EnergyBreakdown, energy_breakdown
+from ..metrics.records import RecordsSource
 from ..metrics.reports import ReportBundle
 from ..queues.batch_queue import BatchQueue
 from ..scheduling.base import Assignment, Scheduler, SchedulingMode
@@ -52,18 +55,48 @@ __all__ = ["Simulator", "SimulationResult"]
 
 Observer = Callable[["Simulator", Event], None]
 
+# Event-type members bound once at module scope: member access on an Enum
+# class goes through a descriptor (~10x a plain global load on CPython 3.11),
+# and the dispatch loop reads several members per event.
+_ARRIVAL = EventType.TASK_ARRIVAL
+_COMPLETION = EventType.TASK_COMPLETION
+_DEADLINE = EventType.TASK_DEADLINE
+_DELIVERY = EventType.NETWORK_DELIVERY
+_FAILURE = EventType.MACHINE_FAILURE
+_REPAIR = EventType.MACHINE_REPAIR
+_CONTROL = EventType.CONTROL
+_CREATED = TaskStatus.CREATED
+_IN_BATCH_QUEUE = TaskStatus.IN_BATCH_QUEUE
+_ASSIGNED = TaskStatus.ASSIGNED
+_RUNNING = TaskStatus.RUNNING
+
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Everything a finished run produced."""
+    """Everything a finished run produced.
+
+    ``task_records`` / ``machine_records`` are built lazily from ``records``
+    on first access (and cached): most consumers — benchmarks, campaign
+    sweeps, regression gates — only read the summary, and the per-task row
+    dicts are the single most expensive part of result assembly.
+    """
 
     summary: SummaryMetrics
-    task_records: list[dict]
-    machine_records: list[dict]
     energy: EnergyBreakdown
     end_time: float
     scheduler_name: str
     events_processed: int
+    records: RecordsSource = field(repr=False, compare=False)
+
+    @cached_property
+    def task_records(self) -> list[dict]:
+        """One dict per task — the Task report rows (lazy, cached)."""
+        return self.records.task_rows()
+
+    @cached_property
+    def machine_records(self) -> list[dict]:
+        """One dict per machine — the Machine report rows (lazy, cached)."""
+        return self.records.machine_rows()
 
     @property
     def reports(self) -> ReportBundle:
@@ -148,6 +181,15 @@ class Simulator:
         self._result: SimulationResult | None = None
         self._arrived = 0  # arrival events processed (O(1) remaining_arrivals)
         self._overhead_free = self.scheduling_overhead.is_free
+        # Immediate policies with zero decision overhead and no network can
+        # map an arriving task on the spot whenever the batch queue is empty,
+        # skipping the queue push / sweep / snapshot / Assignment machinery —
+        # the dominant arrival shape for every immediate preset.
+        self._immediate_fast = (
+            scheduler.mode is SchedulingMode.IMMEDIATE
+            and self._overhead_free
+            and not enable_network
+        )
         # One context object reused across passes (policies treat it as a
         # read-only view; only now/pending vary between passes).
         self._ctx = SchedulingContext(
@@ -218,17 +260,27 @@ class Simulator:
                 while not self._finished:
                     self.step()
             else:
-                # Hot path: the step() body inlined with pre-bound locals —
-                # one function call and two queue-emptiness probes fewer per
-                # event than stepping, with identical semantics.
+                # Hot path: the step() body inlined with the event-queue pop
+                # unrolled — direct heap access saves a call layer per event,
+                # and the heap's ordering guarantee stands in for the clock's
+                # monotonicity check. Semantics identical to step().
                 events = self.events
+                heap = events._heap
+                cancelled = events._cancelled
                 clock = self.clock
                 dispatch = self._dispatch
-                while events:
-                    event = events.pop()
-                    clock.advance_to(event.time)
+                heappop = heapq.heappop
+                processed = 0
+                while heap:
+                    event = heappop(heap)[1]
+                    if cancelled and event.seq in cancelled:
+                        cancelled.discard(event.seq)
+                        continue
+                    events._live -= 1
+                    clock._now = event.time
                     dispatch(event)
-                    self._events_processed += 1
+                    processed += 1
+                self._events_processed += processed
                 if not self._finished:
                     self._finish()
             assert self._result is not None
@@ -254,25 +306,53 @@ class Simulator:
     # -- event dispatch ----------------------------------------------------------------
 
     def _dispatch(self, event: Event) -> None:
-        if event.type is EventType.TASK_ARRIVAL:
+        etype = event.type
+        if etype is _ARRIVAL:
             self._on_arrival(event.payload)
-        elif event.type is EventType.TASK_COMPLETION:
+        elif etype is _COMPLETION:
             self._on_completion(event.payload)
-        elif event.type is EventType.TASK_DEADLINE:
+        elif etype is _DEADLINE:
             self._on_deadline(event.payload)
-        elif event.type is EventType.NETWORK_DELIVERY:
+        elif etype is _DELIVERY:
             self._on_delivery(event.payload)
-        elif event.type is EventType.MACHINE_FAILURE:
+        elif etype is _FAILURE:
             self._on_failure(event.payload)
-        elif event.type is EventType.MACHINE_REPAIR:
+        elif etype is _REPAIR:
             self._on_repair(event.payload)
-        elif event.type is EventType.CONTROL:  # pragma: no cover - hook
+        elif etype is _CONTROL:  # pragma: no cover - hook
             pass
         else:  # pragma: no cover - defensive
             raise SimulationStateError(f"unhandled event type {event.type}")
 
     def _on_arrival(self, task: Task) -> None:
         self._arrived += 1
+        if self._immediate_fast and self.batch_queue.is_empty:
+            # Same decisions, records, and RNG consumption as the general
+            # path below — merely without materialising the single-task
+            # batch pass (push, sweep, snapshot, Assignment, remove).
+            now = self.clock._now
+            if self.drop_on_deadline and task.deadline <= now:
+                task.cancel(now)
+                self.collector.record_terminal(task)
+                self.type_stats.record(task.task_type.name, False)
+                return
+            ctx = self._ctx
+            ctx.now = now
+            ctx.pending = (task,)
+            machine = self.scheduler.choose_machine(task, ctx)
+            if machine is None:  # pragma: no cover - defensive
+                raise SchedulingError(
+                    f"{self.scheduler.name}: immediate policy returned no "
+                    f"machine for task {task.id}"
+                )
+            if machine.can_accept(task):
+                machine.enqueue(task, now)
+                self._try_start(machine)
+            else:
+                # Admission refused: buffer it exactly as the general path
+                # would have left it, awaiting the next scheduling pass.
+                self.batch_queue.push(task)
+            return
         self.batch_queue.push(task)
         self._scheduling_pass()
 
@@ -294,7 +374,7 @@ class Simulator:
         if task.status.is_terminal:
             return  # completed exactly at (or before) the deadline
         now = self.now
-        if task.status in (TaskStatus.CREATED, TaskStatus.IN_BATCH_QUEUE):
+        if task.status in (_CREATED, _IN_BATCH_QUEUE):
             self.batch_queue.remove(task)
             task.cancel(now)
             self.collector.record_terminal(task)
@@ -305,7 +385,7 @@ class Simulator:
             raise SimulationStateError(
                 f"task {task.id} is {task.status.name} but has no machine"
             )
-        if task.status is TaskStatus.ASSIGNED:
+        if task.status is _ASSIGNED:
             in_transit = (
                 task.available_at is not None and task.available_at > now
             )
@@ -317,7 +397,7 @@ class Simulator:
                 now,
                 DropStage.IN_TRANSIT if in_transit else DropStage.MACHINE_QUEUE,
             )
-        elif task.status is TaskStatus.RUNNING:
+        elif task.status is _RUNNING:
             if machine.completion_event is not None:
                 self.events.cancel(machine.completion_event)
             machine.drop_running(self.now)
@@ -333,7 +413,7 @@ class Simulator:
 
     def _on_delivery(self, payload: tuple[Machine, Task]) -> None:
         machine, task = payload
-        if task.status is TaskStatus.ASSIGNED:
+        if task.status is _ASSIGNED:
             self._try_start(machine)
 
     # -- failure injection ---------------------------------------------------------
@@ -419,7 +499,7 @@ class Simulator:
         network = self.enable_network
         for assignment in assignments:
             task, machine = assignment.task, assignment.machine
-            if task.status is not TaskStatus.IN_BATCH_QUEUE:
+            if task.status is not _IN_BATCH_QUEUE:
                 raise SchedulingError(
                     f"{self.scheduler.name}: assignment for task {task.id} "
                     f"in state {task.status.name}"
@@ -501,12 +581,11 @@ class Simulator:
         summary = self.collector.summary(self.cluster, end_time=self.now)
         return SimulationResult(
             summary=summary,
-            task_records=self.collector.task_records(),
-            machine_records=self.collector.machine_records(self.cluster),
             energy=energy_breakdown(self.cluster),
             end_time=self.now,
             scheduler_name=self.scheduler.name,
             events_processed=self._events_processed,
+            records=RecordsSource([(None, self.collector, self.cluster)]),
         )
 
     # -- renderer-facing state ------------------------------------------------------------

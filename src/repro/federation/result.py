@@ -11,10 +11,12 @@ and WAN/offload accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Mapping
 
 from ..metrics.collector import SummaryMetrics
 from ..metrics.energy import EnergyBreakdown
+from ..metrics.records import RecordsSource
 from ..metrics.reports import ReportBundle
 from ..metrics.rollup import MigrationStats, OffloadEnergySplit
 from ..net.wan import LinkUsage
@@ -48,8 +50,7 @@ class FederatedSimulationResult:
     routing: dict[str, dict[str, int]]
     offloaded: int
     wan_time_total: float
-    task_records: list[dict[str, Any]]
-    machine_records: list[dict[str, Any]]
+    records: RecordsSource = field(repr=False, compare=False)
     energy: EnergyBreakdown
     end_time: float
     scheduler_name: str
@@ -61,6 +62,16 @@ class FederatedSimulationResult:
     )
     migrations: dict[str, dict[str, int]] = field(default_factory=dict)
     migration_stats: MigrationStats = field(default_factory=MigrationStats)
+
+    @cached_property
+    def task_records(self) -> list[dict[str, Any]]:
+        """Per-task report rows across all clusters (lazy, cached)."""
+        return self.records.task_rows()
+
+    @cached_property
+    def machine_records(self) -> list[dict[str, Any]]:
+        """Per-machine report rows across all clusters (lazy, cached)."""
+        return self.records.machine_rows()
 
     @property
     def reports(self) -> ReportBundle:

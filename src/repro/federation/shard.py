@@ -91,6 +91,11 @@ class ClusterShard(Simulator):
             else SchedulingOverhead()
         )
         self._overhead_free = self.scheduling_overhead.is_free
+        self._immediate_fast = (
+            scheduler.mode is SchedulingMode.IMMEDIATE
+            and self._overhead_free
+            and not enable_network
+        )
         self.observers = []
 
         if scheduler.mode is SchedulingMode.IMMEDIATE:
@@ -103,6 +108,7 @@ class ClusterShard(Simulator):
         self.type_stats = LiveTypeStats()
         self.scheduler.reset()
         self._arrived = 0
+        self._n_machines = len(cluster.machines)
         #: Tasks the gateway routed to this shard (local or via WAN).
         self.routed = 0
         self._ctx = SchedulingContext(
@@ -119,6 +125,19 @@ class ClusterShard(Simulator):
     def in_system(self) -> int:
         """Routed-but-not-terminal tasks (WAN transit + queued + running)."""
         return self.routed - self.collector.recorded
+
+    def pressure(self) -> float:
+        """Outstanding tasks per live machine (the gateway load signal).
+
+        Same arithmetic as :func:`repro.scheduling.federation.base.shard_pressure`
+        with the attribute chains flattened — this runs several times per
+        routing decision.
+        """
+        state = self.cluster._state
+        alive = self._n_machines - state.n_down
+        if alive <= 0:
+            return float("inf")
+        return (self.routed - self.collector.recorded) / alive
 
     def start_failure_process(self) -> None:
         """Schedule the first failure event for every machine of this shard."""

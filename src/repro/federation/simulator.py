@@ -30,6 +30,7 @@ events carrying the destination shard id.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -47,6 +48,7 @@ from ..machines.machine import Machine
 from ..machines.machine_queue import UNBOUNDED
 from ..machines.power import PowerProfile
 from ..metrics.collector import SummaryMetrics
+from ..metrics.records import RecordsSource
 from ..metrics.rollup import (
     MigrationStats,
     global_energy,
@@ -54,7 +56,7 @@ from ..metrics.rollup import (
     offload_energy_split,
     routing_table,
 )
-from ..net.wan import WanManager, WanTransfer
+from ..net.wan import TransferPhase, WanManager, WanTransfer
 from ..scheduling.federation.base import GatewayContext
 from ..scheduling.federation.registry import create_gateway
 from ..scheduling.overhead import SchedulingOverhead
@@ -69,6 +71,17 @@ from .spec import FederationSpec
 __all__ = ["FederatedSimulator"]
 
 Observer = Callable[["FederatedSimulator", Event], None]
+
+# Module-bound enum members: the routing loop tests several per event, and
+# Enum class attribute access costs ~10x a global load on CPython 3.11.
+_ARRIVAL = EventType.TASK_ARRIVAL
+_COMPLETION = EventType.TASK_COMPLETION
+_DEADLINE = EventType.TASK_DEADLINE
+_LINK_TRANSFER = EventType.LINK_TRANSFER
+_MIGRATION = EventType.TASK_MIGRATION
+_CROSS_TRAFFIC = EventType.CROSS_TRAFFIC
+_CONTROL = EventType.CONTROL
+_CREATED = TaskStatus.CREATED
 
 
 class FederatedSimulator:
@@ -303,15 +316,26 @@ class FederatedSimulator:
                 while not self._finished:
                     self.step()
             else:
-                # Same inlined hot loop as the single-cluster engine.
+                # Same inlined hot loop as the single-cluster engine: pop
+                # straight off the heap (lazy-cancellation skip included) and
+                # let heap order stand in for the clock's monotonicity check.
                 events = self.events
+                heap = events._heap
+                cancelled = events._cancelled
                 clock = self.clock
                 dispatch = self._dispatch
-                while events:
-                    event = events.pop()
-                    clock.advance_to(event.time)
+                heappop = heapq.heappop
+                processed = 0
+                while heap:
+                    event = heappop(heap)[1]
+                    if cancelled and event.seq in cancelled:
+                        cancelled.discard(event.seq)
+                        continue
+                    events._live -= 1
+                    clock._now = event.time
                     dispatch(event)
-                    self._events_processed += 1
+                    processed += 1
+                self._events_processed += processed
                 if not self._finished:
                     self._finish()
             assert self._result is not None
@@ -338,37 +362,43 @@ class FederatedSimulator:
 
     def _dispatch(self, event: Event) -> None:
         cluster_id = event.cluster
+        etype = event.type
         if cluster_id is None:
             # Federation-level event: a task arriving at the gateway, or a
             # deadline firing wherever the task currently is.
-            if event.type is EventType.TASK_ARRIVAL:
+            if etype is _ARRIVAL:
                 self._on_gateway_arrival(event.payload)
-            elif event.type is EventType.TASK_DEADLINE:
+            elif etype is _DEADLINE:
                 self._on_deadline(event.payload)
-            elif event.type is EventType.LINK_TRANSFER:
+            elif etype is _LINK_TRANSFER:
                 # A WAN serialisation milestone: the owning link channel
                 # frees the pipe, delivers, and starts whatever is queued.
-                WanManager.on_link_event(event, self.now)
-            elif event.type is EventType.TASK_MIGRATION:
+                WanManager.on_link_event(event, self.clock._now)
+            elif etype is _MIGRATION:
                 # The rebalance clock: run one mid-queue migration pass.
                 if self._rebalancer is not None:
-                    self._rebalancer.on_tick(self.now)
-            elif event.type is EventType.CROSS_TRAFFIC:
+                    self._rebalancer.on_tick(self.clock._now)
+            elif etype is _CROSS_TRAFFIC:
                 # A WAN link entered its next background-utilisation epoch.
-                WanManager.on_cross_traffic(event, self.now)
-            elif event.type is EventType.CONTROL:  # pragma: no cover - hook
+                WanManager.on_cross_traffic(event, self.clock._now)
+            elif etype is _CONTROL:  # pragma: no cover - hook
                 pass
             else:  # pragma: no cover - defensive
                 raise SimulationStateError(
                     f"federation-level event of type {event.type} has no owner"
                 )
-        elif event.type is EventType.TASK_ARRIVAL:
+        elif etype is _COMPLETION:
+            # The most common shard-owned event: skip the shard's own
+            # dispatch chain and call the handler directly.
+            self.shards[cluster_id]._on_completion(event.payload)
+        elif etype is _ARRIVAL:
             # A WAN transfer completed: the task reaches its destination.
             transfer = self._transfers.pop(event.payload.id, None)
             if transfer is not None:
-                self._wan.on_delivered(transfer, self.now)
+                self._wan.on_delivered(transfer, self.clock._now)
+                self._wan.release(transfer)
             self.shards[cluster_id]._on_arrival(event.payload)
-        elif event.type is EventType.TASK_MIGRATION:
+        elif etype is _MIGRATION:
             # A migrated task survived the WAN: re-enqueue at its new home.
             task = event.payload
             transfer = self._transfers.pop(task.id, None)
@@ -377,9 +407,10 @@ class FederatedSimulator:
                     f"migration delivery for task {task.id} without a "
                     "tracked WAN transfer"
                 )
-            self._wan.on_delivered(transfer, self.now)
+            self._wan.on_delivered(transfer, self.clock._now)
             assert self._rebalancer is not None
             self._rebalancer.record_delivered(task, transfer)
+            self._wan.release(transfer)
             self.shards[cluster_id]._on_arrival(task)
         else:
             self.shards[cluster_id]._dispatch(event)
@@ -393,7 +424,7 @@ class FederatedSimulator:
                 f"task {task.id} reached the gateway without an origin cluster"
             )
         ctx = self._ctx
-        ctx.now = self.now
+        ctx.now = self.clock._now
         ctx.task = task
         ctx.origin = origin
         destination = self.gateway.choose_cluster(ctx)
@@ -408,7 +439,9 @@ class FederatedSimulator:
         shard.routed += 1
         if destination != origin:
             self._offloaded += 1
-            transfer = self._wan.submit(task, origin, destination, self.now)
+            transfer = self._wan.submit(
+                task, origin, destination, self.clock._now
+            )
             if transfer is not None:
                 self._transfers[task.id] = transfer
                 return
@@ -423,7 +456,7 @@ class FederatedSimulator:
                 f"deadline fired for task {task.id} before any gateway decision"
             )
         shard = self.shards[cluster_id]
-        if task.status is TaskStatus.CREATED:
+        if task.status is _CREATED:
             # Still crossing the WAN: the transfer is abandoned and the task
             # is cancelled (deadline before any mapping decision), accounted
             # to its destination cluster. The link channel reclaims the pipe
@@ -434,12 +467,18 @@ class FederatedSimulator:
             # cancelled holds at the end of the run.
             transfer = self._transfers.pop(task.id, None)
             if transfer is not None:
+                # A transfer cancelled while QUEUED stays lazily referenced
+                # by its FIFO channel until _start_next skips it, so only
+                # further-along phases may return their slot to the pool.
+                in_fifo = transfer.phase is TransferPhase.QUEUED
                 self._wan.cancel(transfer, self.now)
                 if (
                     transfer.kind is EventType.TASK_MIGRATION
                     and self._rebalancer is not None
                 ):
                     self._rebalancer.record_cancelled(task)
+                if not in_fifo:
+                    self._wan.release(transfer)
             task.cancel(self.now)
             shard.collector.record_terminal(task)
             shard.type_stats.record(task.task_type.name, False)
@@ -468,20 +507,11 @@ class FederatedSimulator:
         names = self.spec.names
         per_cluster: dict[str, SummaryMetrics] = {}
         machines: list[Machine] = []
-        task_records: list[dict[str, Any]] = []
-        machine_records: list[dict[str, Any]] = []
         for shard in self.shards:
             per_cluster[shard.name] = shard.collector.summary(
                 shard.cluster, end_time=now
             )
             machines.extend(shard.cluster.machines)
-            for row in shard.collector.task_records():
-                row["cluster"] = shard.name
-                task_records.append(row)
-            for row in shard.collector.machine_records(shard.cluster):
-                row["cluster"] = shard.name
-                machine_records.append(row)
-        task_records.sort(key=lambda row: row["task_id"])
         summary = global_summary(
             [shard.collector for shard in self.shards], machines, end_time=now
         )
@@ -500,8 +530,12 @@ class FederatedSimulator:
             routing=routing_table(names, self._routing),
             offloaded=self._offloaded,
             wan_time_total=self._wan.total_time,
-            task_records=task_records,
-            machine_records=machine_records,
+            records=RecordsSource(
+                [
+                    (shard.name, shard.collector, shard.cluster)
+                    for shard in self.shards
+                ]
+            ),
             energy=global_energy(machines),
             end_time=now,
             scheduler_name=self.scheduler_name,

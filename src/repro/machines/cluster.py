@@ -33,11 +33,30 @@ class ClusterState:
     O(1) idle-machine index used by renderers and idle-seeking policies.
     """
 
-    __slots__ = ("finish_at", "queued_work", "up", "idle", "n_idle", "n_down")
+    __slots__ = (
+        "finish_at",
+        "queued_work",
+        "finish_list",
+        "queued_list",
+        "slots",
+        "up",
+        "idle",
+        "n_idle",
+        "n_down",
+    )
 
     def __init__(self, n: int) -> None:
         self.finish_at = np.zeros(n)   # run_finishes_at, 0.0 while idle
         self.queued_work = np.zeros(n)  # Σ EET of queued tasks
+        # Plain-float twins of the two arrays above, maintained by the same
+        # machine syncs: the scalar argmin/min fast paths index them directly
+        # instead of paying a .tolist() materialisation per decision.
+        self.finish_list = [0.0] * n
+        self.queued_list = [0.0] * n
+        # Free machine-queue slots (0.0 while down, inf when unbounded),
+        # mirrored by the same syncs: the batch mapping loop snapshots this
+        # array instead of chasing queue attributes machine by machine.
+        self.slots = np.full(n, np.inf)
         self.up = np.ones(n, dtype=bool)
         self.idle = np.ones(n, dtype=bool)  # up and not running
         self.n_idle = n
@@ -221,34 +240,62 @@ class Cluster:
         out += self.eet_vector(task)
         return out
 
+    #: Machine count above which the vectorised NumPy path beats the scalar
+    #: loop (its ~6 ufunc dispatches cost about as much as ~64 loop bodies).
+    _SCALAR_ARGMIN_LIMIT = 64
+
     def argmin_completion(self, task: Task, now: float) -> int:
         """Index of the machine minimising completion time (MCT argmin).
 
-        For small, fully-up clusters a scalar Python loop over plain floats
-        beats the fixed overhead of the ~6 NumPy ufunc dispatches the
-        vectorised path costs; both branches perform the identical IEEE
+        For fully-up clusters up to ``_SCALAR_ARGMIN_LIMIT`` machines a
+        scalar Python loop over the incrementally-maintained plain-float
+        mirrors beats the fixed overhead of the ~6 NumPy ufunc dispatches
+        the vectorised path costs; both branches perform the identical IEEE
         operations (and first-minimum tie-break), so the chosen index — and
         therefore the simulation trajectory — is the same.
         """
         state = self._state
-        if not state.n_down and len(self.machines) <= 12:
+        if not state.n_down and len(self.machines) <= self._SCALAR_ARGMIN_LIMIT:
             row = self._row_of.get(task.task_type.name)
             if row is not None:
                 eet_row = self._eet_lists[row]
-                finish = state.finish_at.tolist()
-                queued = state.queued_work.tolist()
-                best = None
+                queued = state.queued_list
+                best = float("inf")
                 best_j = 0
-                for j, f in enumerate(finish):
+                for j, f in enumerate(state.finish_list):
                     remaining = f - now
                     if remaining < 0.0:
                         remaining = 0.0
                     v = now + remaining + queued[j] + eet_row[j]
-                    if best is None or v < best:
+                    if v < best:
                         best = v
                         best_j = j
                 return best_j
         return int(self.completion_times(task, now).argmin())
+
+    def min_completion_time(self, task: Task, now: float) -> float:
+        """Smallest expected completion time of *task* across machines.
+
+        Scalar twin of ``float(completion_times(task, now).min())`` — the
+        same IEEE operations in the same order, without materialising the
+        vector (the gateway's EET-aware policy calls this per decision).
+        """
+        state = self._state
+        if not state.n_down and len(self.machines) <= self._SCALAR_ARGMIN_LIMIT:
+            row = self._row_of.get(task.task_type.name)
+            if row is not None:
+                eet_row = self._eet_lists[row]
+                queued = state.queued_list
+                best = float("inf")
+                for j, f in enumerate(state.finish_list):
+                    remaining = f - now
+                    if remaining < 0.0:
+                        remaining = 0.0
+                    v = now + remaining + queued[j] + eet_row[j]
+                    if v < best:
+                        best = v
+                return best
+        return float(self.completion_times(task, now).min())
 
     def acceptance_mask(self) -> np.ndarray:
         """Boolean mask of machines whose queues can take one more task."""
@@ -279,6 +326,11 @@ class Cluster:
                     "cannot change queue capacity while tasks are in flight"
                 )
             m.queue = type(m.queue)(capacity)
+            m._sync_queued()  # refresh the mirrored free-slot count
+
+    def free_slots_snapshot(self) -> np.ndarray:
+        """Fresh free-slots-per-machine array (callers may mutate it)."""
+        return self._state.slots.copy()
 
     def counts_by_type(self) -> dict[str, int]:
         out: dict[str, int] = {n: 0 for n in self.eet.machine_type_names}

@@ -103,8 +103,13 @@ class Machine:
             return
         i = self._shared_idx
         finishes = self.run_finishes_at
-        state.finish_at[i] = 0.0 if finishes is None else finishes
+        if finishes is None:
+            finishes = 0.0
+        state.finish_at[i] = finishes
+        state.finish_list[i] = finishes
         state.queued_work[i] = self._queued_work
+        state.queued_list[i] = self._queued_work
+        state.slots[i] = self.queue.free_slots if self.up else 0.0
         if bool(state.up[i]) != self.up:
             state.up[i] = self.up
             state.n_down += -1 if self.up else 1
@@ -114,10 +119,13 @@ class Machine:
             state.n_idle += 1 if idle_now else -1
 
     def _sync_queued(self) -> None:
-        """Cheap sync for transitions that only touch queued work."""
+        """Cheap sync for transitions that only touch the queue."""
         state = self._shared
         if state is not None:
-            state.queued_work[self._shared_idx] = self._queued_work
+            i = self._shared_idx
+            state.queued_work[i] = self._queued_work
+            state.queued_list[i] = self._queued_work
+            state.slots[i] = self.queue.free_slots if self.up else 0.0
 
     def _sync_run(self) -> None:
         """Cheap sync for start/finish transitions (finish_at + idleness)."""
@@ -126,8 +134,13 @@ class Machine:
             return
         i = self._shared_idx
         finishes = self.run_finishes_at
-        state.finish_at[i] = 0.0 if finishes is None else finishes
+        if finishes is None:
+            finishes = 0.0
+        state.finish_at[i] = finishes
+        state.finish_list[i] = finishes
         state.queued_work[i] = self._queued_work
+        state.queued_list[i] = self._queued_work
+        state.slots[i] = self.queue.free_slots if self.up else 0.0
         idle_now = self.running is None and self.up
         if bool(state.idle[i]) != idle_now:
             state.idle[i] = idle_now

@@ -78,6 +78,15 @@ __all__ = [
 #: Residual-payload tolerance (MB) under which a PS transfer counts as done.
 _EPS_MB = 1e-9
 
+#: Transfers a WanManager keeps pooled for slot reuse (bounds pool memory).
+_POOL_MAX = 512
+
+# Enum member access costs an attribute lookup per hit on CPython; the WAN
+# channel machinery sits on the contended-federation hot path, so the members
+# it tests/schedules with are bound once at module level.
+_LINK_TRANSFER = EventType.LINK_TRANSFER
+_CROSS_TRAFFIC_EVENT = EventType.CROSS_TRAFFIC
+
 
 class TransferPhase(enum.Enum):
     """Lifecycle of one WAN transfer inside its link channel."""
@@ -205,6 +214,8 @@ class LinkChannel:
         "label",
         "link",
         "_events",
+        "_fifo_mode",
+        "_ps_mode",
         "_serving",
         "_fifo",
         "_queued_mb",
@@ -236,6 +247,10 @@ class LinkChannel:
         self.label = label if label is not None else f"{key[0]}->{key[1]}"
         self.link = link
         self._events = events
+        # The discipline never changes after construction; every hot method
+        # branches on it, so the string compare is resolved once here.
+        self._fifo_mode = link.contention == "fifo"
+        self._ps_mode = link.contention == "ps"
         # FIFO state
         self._serving: WanTransfer | None = None
         self._fifo: deque[WanTransfer] = deque()
@@ -266,12 +281,12 @@ class LinkChannel:
     @property
     def queue_depth(self) -> int:
         """Transfers currently occupying or waiting for the pipe."""
-        if self.link.contention == "fifo":
+        if self._fifo_mode:
             waiting = sum(
                 1 for t in self._fifo if t.phase is TransferPhase.QUEUED
             )
             return waiting + (1 if self._serving is not None else 0)
-        if self.link.contention == "ps":
+        if self._ps_mode:
             return len(self._active)
         return 0
 
@@ -285,13 +300,13 @@ class LinkChannel:
         :meth:`~repro.net.topology.Link.delay_for`.
         """
         link = self.link
-        if link.contention == "fifo":
+        if self._fifo_mode:
             backlog = self._queued_mb / self._rate
             head = self._serving
             if head is not None and head.service_event is not None:
                 backlog += max(0.0, head.service_event.time - now)
             return backlog + link.latency + self._service_time(megabytes)
-        if link.contention == "ps":
+        if self._ps_mode:
             share = len(self._active) + 1
             return link.latency + self._service_time(megabytes) * share
         return link.delay_for(megabytes)
@@ -323,7 +338,7 @@ class LinkChannel:
 
     def _set_rate(self, rate: float, now: float) -> None:
         """Switch the residual capacity, re-integrating in-flight payloads."""
-        if self.link.contention == "ps":
+        if self._ps_mode:
             self._elapse(now)  # drain under the outgoing rate first
             self._rate = rate
             if self._active:
@@ -336,14 +351,17 @@ class LinkChannel:
             self._drain_serving(now)
         self._rate = rate
         if serving is not None:
-            if serving.service_event is not None:
-                self._events.cancel(serving.service_event)
+            when = now + self._service_time(max(serving.remaining_mb, 0.0))
+            stale = serving.service_event
+            if stale is not None:
+                if stale.time == when:
+                    # Coalesced: the rate change leaves the completion where
+                    # it already is (e.g. the payload has fully drained) —
+                    # keep the scheduled event, skip the cancel + re-push.
+                    return
+                self._events.cancel(stale)
             serving.service_event = self._events.push(
-                Event(
-                    now + self._service_time(max(serving.remaining_mb, 0.0)),
-                    EventType.LINK_TRANSFER,
-                    self,
-                )
+                Event(when, _LINK_TRANSFER, self)
             )
 
     def _drain_serving(self, now: float) -> None:
@@ -372,7 +390,7 @@ class LinkChannel:
         if traffic is None or self._tick is not None or not self._busy():
             return
         self._tick = self._events.push(
-            Event(traffic.next_boundary(now), EventType.CROSS_TRAFFIC, self)
+            Event(traffic.next_boundary(now), _CROSS_TRAFFIC_EVENT, self)
         )
 
     def _cancel_tick(self) -> None:
@@ -390,10 +408,9 @@ class LinkChannel:
 
     def submit(self, transfer: WanTransfer, now: float) -> None:
         """Admit a transfer; schedules whatever event its discipline needs."""
-        link = self.link
         if self._traffic is not None:
             self._sync_cross_traffic(now)
-        if link.contention == "fifo":
+        if self._fifo_mode:
             if self._serving is None:
                 self._start_service(transfer, now)
             else:
@@ -402,7 +419,7 @@ class LinkChannel:
                 self._queued_mb += transfer.megabytes
             self._schedule_tick(now)
             return
-        if link.contention == "ps":
+        if self._ps_mode:
             self._elapse(now)
             transfer.phase = TransferPhase.SERVING
             transfer.started_at = now
@@ -424,7 +441,7 @@ class LinkChannel:
         transfer.service_event = self._events.push(
             Event(
                 now + self._service_time(transfer.remaining_mb),
-                EventType.LINK_TRANSFER,
+                _LINK_TRANSFER,
                 self,
             )
         )
@@ -454,23 +471,31 @@ class LinkChannel:
         self._last_update = now
 
     def _reschedule(self, now: float) -> None:
-        if self._next_finish is not None:
-            self._events.cancel(self._next_finish)
-            self._next_finish = None
+        stale = self._next_finish
         active = self._active
         if active:
             min_remaining = min(t.remaining_mb for t in active)
             dt = max(min_remaining, 0.0) * len(active) / self._rate
+            when = now + dt
+            if stale is not None:
+                if stale.time == when:
+                    # Coalesced: the membership/rate change did not move the
+                    # next serialisation milestone (e.g. a joiner with zero
+                    # payload) — keep the scheduled event as-is.
+                    return
+                self._events.cancel(stale)
             self._next_finish = self._events.push(
-                Event(now + dt, EventType.LINK_TRANSFER, self)
+                Event(when, _LINK_TRANSFER, self)
             )
+        elif stale is not None:
+            self._events.cancel(stale)
+            self._next_finish = None
 
     # -- the LINK_TRANSFER event handler ------------------------------------------------
 
     def on_fire(self, now: float) -> None:
         """A serialisation milestone on this link fired."""
-        link = self.link
-        if link.contention == "fifo":
+        if self._fifo_mode:
             transfer = self._serving
             if transfer is None:  # pragma: no cover - defensive
                 raise SimulationStateError(
@@ -484,7 +509,7 @@ class LinkChannel:
             if self._traffic is not None and self._serving is None:
                 self._cancel_tick()
             return
-        if link.contention == "ps":
+        if self._ps_mode:
             self._next_finish = None
             self._elapse(now)
             finished = [
@@ -500,7 +525,7 @@ class LinkChannel:
                 self._cancel_tick()
             return
         raise SimulationStateError(  # pragma: no cover - defensive
-            f"link {self.label}: discipline {link.contention!r} "
+            f"link {self.label}: discipline {self.link.contention!r} "
             "schedules no serialisation events"
         )
 
@@ -552,7 +577,7 @@ class LinkChannel:
             self.mb_abandoned += transfer.megabytes
             self.wait_time += now - transfer.submitted_at
         elif phase is TransferPhase.SERVING:
-            if link.contention == "fifo":
+            if self._fifo_mode:
                 elapsed = now - transfer.started_at
                 if self._traffic is None:
                     # Legacy arithmetic, kept verbatim: golden runs compare
@@ -662,6 +687,18 @@ class WanManager:
         #: link never perturbs another link's bursts).
         self._seed = seed
         self._channels: dict[tuple[str, str], LinkChannel] = {}
+        #: Per-(origin, destination) resolved route — ``(channel, link,
+        #: is_contended)`` memoized on first use so the submit/estimate hot
+        #: paths skip the name → link_key → dict resolution chain. Entries
+        #: appear only once traffic (or an estimate against an existing
+        #: channel) touches the pair; channel creation stays exactly as lazy
+        #: as before.
+        n = len(names)
+        self._route: list[list[tuple[LinkChannel, Link, bool] | None]] = [
+            [None] * n for _ in range(n)
+        ]
+        #: Finished transfers parked for slot reuse (see :meth:`release`).
+        self._pool: list[WanTransfer] = []
         #: Sum of every transfer's in-WAN time ("none": planned delay at
         #: submit, PR 3 semantics; contended: actual time, at delivery or
         #: cancellation).
@@ -716,6 +753,19 @@ class WanManager:
             self._channels[key] = channel
         return channel
 
+    def _route_to(
+        self, origin: int, destination: int
+    ) -> tuple[LinkChannel, Link, bool]:
+        """The memoized physical route for origin→destination traffic."""
+        route = self._route[origin][destination]
+        if route is None:
+            channel = self.channel_between(
+                self._names[origin], self._names[destination]
+            )
+            route = (channel, channel.link, channel.link.is_contended)
+            self._route[origin][destination] = route
+        return route
+
     # -- gateway-facing signals ---------------------------------------------------------
 
     def estimated_delay(
@@ -728,6 +778,28 @@ class WanManager:
         if channel is None:
             return self._topology.wan_delay(src, dst, megabytes)
         return channel.estimated_delay(megabytes, now)
+
+    def estimated_delay_by_index(
+        self, origin: int, destination: int, megabytes: float, now: float
+    ) -> float:
+        """Index-keyed twin of :meth:`estimated_delay` (the gateway hot path).
+
+        Resolves the route through the memoized table instead of the
+        name → link_key → dict chain. A pair whose channel does not exist
+        yet still answers with the static topology delay — estimating never
+        materialises a channel, exactly like the name-keyed path.
+        """
+        if origin == destination:
+            return 0.0
+        route = self._route[origin][destination]
+        if route is None:
+            src, dst = self._names[origin], self._names[destination]
+            channel = self._channels.get(self._topology.link_key(src, dst))
+            if channel is None:
+                return self._topology.wan_delay(src, dst, megabytes)
+            route = (channel, channel.link, channel.link.is_contended)
+            self._route[origin][destination] = route
+        return route[0].estimated_delay(megabytes, now)
 
     def queue_depth(self, src: str, dst: str) -> int:
         """Transfers occupying/waiting for the src→dst physical link."""
@@ -754,17 +826,15 @@ class WanManager:
         the federation keeps for deadline cancellation, or ``None`` when the
         task crosses instantly (zero-delay link) and was already accounted.
         """
-        src, dst = self._names[origin], self._names[destination]
+        channel, link, contended = self._route_to(origin, destination)
         megabytes = task.task_type.data_in
-        channel = self.channel_between(src, dst)
-        link = channel.link
-        if not link.is_contended:
+        if not contended:
             delay = link.delay_for(megabytes)
             if delay <= 0.0:
                 channel.record_instant(megabytes)
                 return None
             self.total_time += delay
-            transfer = WanTransfer(
+            transfer = self._make_transfer(
                 task, megabytes, destination, now, channel, kind
             )
             channel.submit(transfer, now)
@@ -777,9 +847,57 @@ class WanManager:
                 )
             )
             return transfer
-        transfer = WanTransfer(task, megabytes, destination, now, channel, kind)
+        transfer = self._make_transfer(
+            task, megabytes, destination, now, channel, kind
+        )
         channel.submit(transfer, now)
         return transfer
+
+    def _make_transfer(
+        self,
+        task: "Task",
+        megabytes: float,
+        destination: int,
+        now: float,
+        channel: LinkChannel,
+        kind: EventType,
+    ) -> WanTransfer:
+        """A fresh transfer handle, reusing a released slot when one exists."""
+        pool = self._pool
+        if pool:
+            transfer = pool.pop()
+            transfer.task = task
+            transfer.megabytes = megabytes
+            transfer.dst_index = destination
+            transfer.submitted_at = now
+            transfer.started_at = now
+            transfer.remaining_mb = megabytes
+            transfer.phase = TransferPhase.QUEUED
+            transfer.channel = channel
+            transfer.kind = kind
+            return transfer
+        return WanTransfer(task, megabytes, destination, now, channel, kind)
+
+    def release(self, transfer: WanTransfer) -> None:
+        """Park a finished transfer's slot for reuse by a later submit.
+
+        Only call once no other component holds the handle (the federation
+        does so after the delivery/cancellation bookkeeping ran). Transfers
+        still in flight are ignored defensively; pooled slots drop their
+        task/channel references so the pool never pins simulation state.
+        """
+        if transfer.phase not in (
+            TransferPhase.DELIVERED,
+            TransferPhase.CANCELLED,
+        ):  # pragma: no cover - defensive
+            return
+        pool = self._pool
+        if len(pool) < _POOL_MAX:
+            transfer.task = None  # type: ignore[assignment]
+            transfer.channel = None  # type: ignore[assignment]
+            transfer.service_event = None
+            transfer.delivery_event = None
+            pool.append(transfer)
 
     def on_delivered(self, transfer: WanTransfer, now: float) -> None:
         """A WAN delivery event fired: the task is at its destination."""

@@ -119,17 +119,27 @@ class BatchScheduler(Scheduler):
         tasks = list(ctx.pending)
         if not tasks:
             return []
+        slots = ctx.free_slots()
+        if not (slots > 0).any():
+            # Every machine queue is saturated (or down): no pick is legal,
+            # so skip building the planning matrices entirely — the dominant
+            # pass shape under bounded queues with a backed-up batch queue.
+            return []
         machines = ctx.cluster.machines
-        ready = ctx.ready_times().astype(float).copy()
-        eet = ctx.eet_matrix_for(tasks)  # (T, M)
-        slots = ctx.free_slots().copy()
+        ready = ctx.ready_times().astype(float)  # astype always copies
+        eet = ctx.eet_matrix_for(tasks)  # (T, M); fresh gather, safe to mark
         alive = np.ones(len(tasks), dtype=bool)
         assignments: list[Assignment] = []
 
-        while alive.any() and (slots > 0).any():
-            completion = ready[None, :] + eet
-            completion = np.where(slots[None, :] > 0, completion, np.inf)
-            completion[~alive, :] = np.inf
+        # The completion matrix is maintained incrementally: a pick dirties
+        # exactly one column (the chosen machine's ready time advanced) and
+        # one row (the chosen task left the pool). Recomputing only those —
+        # with the same ``ready[j] + eet[·, j]`` arithmetic the full rebuild
+        # performed — yields bit-identical cells, so every policy makes the
+        # same sequence of picks as under the per-iteration rebuild.
+        completion = ready[None, :] + eet
+        completion[:, slots <= 0] = np.inf
+        while True:
             pick = self.select_pair(tasks, completion, alive, ctx)
             if pick is None:
                 break
@@ -146,6 +156,15 @@ class BatchScheduler(Scheduler):
             ready[j] += eet[i, j]
             slots[j] -= 1
             alive[i] = False
+            if not alive.any() or not (slots > 0).any():
+                break
+            completion[i, :] = np.inf
+            # Dead rows must stay +inf through later column refreshes.
+            eet[i, :] = np.inf
+            if slots[j] > 0:
+                completion[:, j] = ready[j] + eet[:, j]
+            else:
+                completion[:, j] = np.inf
         return assignments
 
     @abc.abstractmethod

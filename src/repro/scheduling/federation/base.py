@@ -74,9 +74,16 @@ def shard_pressure(shard: ShardView) -> float:
 
     The load signal the stock gateway policies share: cheap (O(1)),
     monotone in backlog, and comparable across clusters of different sizes.
+    Real shards answer through their own ``pressure()`` (same arithmetic,
+    fewer property hops — this is called several times per routing
+    decision); protocol stubs take the generic path.
     """
-    state = shard.cluster.state
-    alive = len(shard.cluster.machines) - state.n_down
+    try:
+        return shard.pressure()  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+    cluster = shard.cluster
+    alive = len(cluster.machines) - cluster.state.n_down
     if alive <= 0:
         return float("inf")
     return shard.in_system / alive
@@ -135,14 +142,22 @@ class GatewayContext:
         this equals :meth:`wan_delay_to`, so congestion-aware policies
         degrade exactly to their PR-3 behaviour when contention is off.
         """
-        if self.wan is None:
+        wan = self.wan
+        if wan is None:
             return self.wan_delay_to(destination)
-        return self.wan.estimated_delay(
-            self.shards[self.origin].name,
-            self.shards[destination].name,
-            self.task.task_type.data_in,
-            self.now,
-        )
+        try:
+            # Index-keyed fast path: shard indices ARE the WAN manager's
+            # name-table indices (both come from federation order).
+            return wan.estimated_delay_by_index(
+                self.origin, destination, self.task.task_type.data_in, self.now
+            )
+        except AttributeError:  # a test double exposing only the name API
+            return wan.estimated_delay(
+                self.shards[self.origin].name,
+                self.shards[destination].name,
+                self.task.task_type.data_in,
+                self.now,
+            )
 
     def link_queue_depth(self, destination: int) -> int:
         """Transfers occupying/awaiting the origin→destination link, now."""
@@ -169,6 +184,12 @@ class GatewayPolicy(abc.ABC):
     name: ClassVar[str] = ""
     #: Short human-readable description for the CLI / docs.
     description: ClassVar[str] = ""
+    #: Whether ``choose_cluster`` reads live shard/WAN state (pressure,
+    #: completion times, link backlog). State-blind policies (weights +
+    #: seeded draws only) can be evaluated by a coordinator that has not
+    #: synchronised with the shards — the property parallel federated
+    #: execution needs for bit-identical windowed runs.
+    reads_shard_state: ClassVar[bool] = True
 
     @abc.abstractmethod
     def choose_cluster(self, ctx: GatewayContext) -> int:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...core.errors import ConfigurationError, SchedulingError
-from .base import GatewayContext, GatewayPolicy, shard_pressure
+from .base import GatewayContext, GatewayPolicy, ShardView, shard_pressure
 from .registry import register_gateway
 
 __all__ = [
@@ -136,20 +136,32 @@ class EETAwareRemoteGateway(GatewayPolicy):
         origin = ctx.origin
         weight = self.energy_weight
         best = origin
-        best_cost = float(
-            ctx.shards[origin].cluster.completion_times(task, now).min()
-        )
+        best_cost = _best_local_completion(ctx.shards[origin], task, now)
         for shard in ctx.shards:
             if shard.index == origin:
                 continue
-            cost = ctx.estimated_wan_delay_to(shard.index) + float(
-                shard.cluster.completion_times(task, now).min()
-            )
+            cost = ctx.estimated_wan_delay_to(
+                shard.index
+            ) + _best_local_completion(shard, task, now)
             if weight:
                 cost += weight * ctx.wan_energy_to(shard.index)
             if cost < best_cost:
                 best, best_cost = shard.index, cost
         return best
+
+
+def _best_local_completion(shard: "ShardView", task, now: float) -> float:
+    """Minimum ``ready_time + EET`` over the shard's machines.
+
+    Uses the cluster's scalar ``min_completion_time`` fast path when present
+    (it performs the identical IEEE operations); protocol stubs without it
+    fall back to the vectorised expression.
+    """
+    cluster = shard.cluster
+    try:
+        return cluster.min_completion_time(task, now)
+    except AttributeError:
+        return float(cluster.completion_times(task, now).min())
 
 
 @register_gateway(aliases=("RANDSPLIT",))
@@ -163,6 +175,10 @@ class RandomSplitGateway(GatewayPolicy):
 
     name = "RANDOM_SPLIT"
     description = "split tasks across clusters at random, by weight"
+    # Routing uses only static weights and the federation's seeded
+    # generator — never live shard state — so windowed-parallel execution
+    # can reproduce its decisions without synchronising with the shards.
+    reads_shard_state = False
 
     def __init__(self, *, weights: list[float] | None = None) -> None:
         if weights is not None:

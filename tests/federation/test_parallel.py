@@ -1,0 +1,175 @@
+"""ParallelFederatedSimulator: refusals, equivalence, drop-in behaviour.
+
+The parallel engine's contract has two halves. The *yes* half — bit-identical
+results under any state-blind federation — is pinned by the integration and
+property suites; here it is exercised on small explicit workloads where the
+expected numbers are checkable by hand. The *no* half matters just as much:
+every zero-lookahead coupling (state-reading gateways, failure models,
+observers, mid-queue migration, zero-latency links) must be refused loudly
+at construction, never silently approximated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.federation import ClusterSpec, FederationSpec
+from repro.federation.parallel import ParallelFederatedSimulator
+from repro.federation.simulator import FederatedSimulator
+from repro.federation.spec import MigrationSpec
+from repro.machines.eet import EETMatrix
+from repro.machines.failures import FailureModel
+from repro.net import InterClusterTopology
+from repro.tasks.task import Task
+from repro.tasks.task_type import TaskType
+from repro.tasks.workload import Workload
+
+
+def two_site_inputs(*, tasks=8, latency=0.5, gateway="RANDOM_SPLIT",
+                    migration=None, gateway_params=None):
+    task_types = [TaskType("T1", 0, data_in=2.0)]
+    eet = EETMatrix(np.array([[4.0, 2.0]]), task_types, ["SLOW", "FAST"])
+    workload = Workload(
+        task_types=task_types,
+        tasks=[
+            Task(
+                id=i,
+                task_type=task_types[0],
+                arrival_time=float(i),
+                deadline=float(i) + 30.0,
+            )
+            for i in range(tasks)
+        ],
+    )
+    spec = FederationSpec(
+        clusters=[
+            ClusterSpec(name="edge", machine_counts={"SLOW": 1}, weight=1.0),
+            ClusterSpec(name="cloud", machine_counts={"FAST": 1}, weight=1.0),
+        ],
+        gateway=gateway,
+        gateway_params=dict(gateway_params or {}),
+        topology=InterClusterTopology.uniform(
+            ["edge", "cloud"], latency=latency, bandwidth=10.0
+        ),
+        migration=migration,
+    )
+    return spec, eet, workload
+
+
+class TestRefusals:
+    def test_workers_must_be_positive(self):
+        spec, eet, workload = two_site_inputs()
+        with pytest.raises(ConfigurationError, match="workers"):
+            ParallelFederatedSimulator(spec, eet, workload, workers=0)
+
+    def test_state_reading_gateway_is_refused(self):
+        spec, eet, workload = two_site_inputs(gateway="LEAST_LOADED")
+        with pytest.raises(ConfigurationError, match="reads live shard state"):
+            ParallelFederatedSimulator(spec, eet, workload)
+
+    def test_failure_model_is_refused(self):
+        spec, eet, workload = two_site_inputs()
+        model = FailureModel(mtbf=100.0, mttr=5.0)
+        with pytest.raises(ConfigurationError, match="failure"):
+            ParallelFederatedSimulator(
+                spec, eet, workload, failure_model=model
+            )
+
+    def test_observers_are_refused(self):
+        spec, eet, workload = two_site_inputs()
+        with pytest.raises(ConfigurationError, match="observers"):
+            ParallelFederatedSimulator(
+                spec, eet, workload, observers=[object()]
+            )
+
+    def test_migration_is_refused(self):
+        spec, eet, workload = two_site_inputs(
+            migration=MigrationSpec(interval=10.0)
+        )
+        with pytest.raises(ConfigurationError, match="migration"):
+            ParallelFederatedSimulator(spec, eet, workload)
+
+    def test_zero_latency_link_is_refused(self):
+        spec, eet, workload = two_site_inputs(latency=0.0)
+        with pytest.raises(ConfigurationError, match="zero latency"):
+            ParallelFederatedSimulator(spec, eet, workload)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_matches_serial_exactly(self, workers):
+        spec, eet, workload = two_site_inputs(tasks=20)
+        serial = FederatedSimulator(spec, eet, workload, seed=7).run()
+        spec, eet, workload = two_site_inputs(tasks=20)
+        parallel = ParallelFederatedSimulator(
+            spec, eet, workload, workers=workers, seed=7
+        ).run()
+        assert parallel.summary == serial.summary
+        assert parallel.per_cluster == serial.per_cluster
+        assert parallel.events_processed == serial.events_processed
+        assert parallel.end_time == serial.end_time
+        assert parallel.routing == serial.routing
+        assert parallel.offloaded == serial.offloaded
+        assert parallel.wan_time_total == serial.wan_time_total
+        assert parallel.energy == serial.energy
+
+    def test_in_wan_deadline_cancellation_matches_serial(self):
+        # Tight deadlines + a slow fat link: some tasks expire mid-transfer,
+        # exercising the coordinator's in-WAN cancellation path.
+        def build():
+            task_types = [TaskType("T1", 0, data_in=50.0)]
+            eet = EETMatrix(np.array([[3.0, 1.0]]), task_types, ["SLOW", "FAST"])
+            workload = Workload(
+                task_types=task_types,
+                tasks=[
+                    Task(
+                        id=i,
+                        task_type=task_types[0],
+                        arrival_time=float(i),
+                        deadline=float(i) + 4.0,
+                    )
+                    for i in range(12)
+                ],
+            )
+            spec = FederationSpec(
+                clusters=[
+                    ClusterSpec(
+                        name="edge", machine_counts={"SLOW": 1}, weight=1.0
+                    ),
+                    ClusterSpec(
+                        name="cloud", machine_counts={"FAST": 1}, weight=1.0
+                    ),
+                ],
+                gateway="RANDOM_SPLIT",
+                topology=InterClusterTopology.uniform(
+                    ["edge", "cloud"], latency=1.0, bandwidth=8.0,
+                    contention="fifo",
+                ),
+            )
+            return spec, eet, workload
+
+        serial = FederatedSimulator(*build(), seed=11).run()
+        parallel = ParallelFederatedSimulator(*build(), workers=2, seed=11).run()
+        assert serial.summary.cancelled > 0  # the in-WAN path is exercised
+        assert parallel.summary == serial.summary
+        assert parallel.events_processed == serial.events_processed
+        assert parallel.end_time == serial.end_time
+
+    def test_more_workers_than_shards_is_harmless(self):
+        spec, eet, workload = two_site_inputs(tasks=6)
+        serial = FederatedSimulator(spec, eet, workload, seed=5).run()
+        spec, eet, workload = two_site_inputs(tasks=6)
+        parallel = ParallelFederatedSimulator(
+            spec, eet, workload, workers=16, seed=5
+        ).run()
+        assert parallel.summary == serial.summary
+
+    def test_run_is_idempotent(self):
+        spec, eet, workload = two_site_inputs(tasks=4)
+        sim = ParallelFederatedSimulator(spec, eet, workload, workers=2, seed=3)
+        assert sim.run() is sim.run()
+
+    def test_lookahead_is_the_min_link_latency(self):
+        spec, eet, workload = two_site_inputs(latency=0.75)
+        sim = ParallelFederatedSimulator(spec, eet, workload, workers=2)
+        assert sim.lookahead == 0.75

@@ -1,0 +1,79 @@
+"""Serial ≡ parallel on the registered federated presets, bit for bit.
+
+`tests/integration/test_golden_metrics.py` pins the serial engine's exact
+summaries; this module pins the *other* equality: for every federated preset
+(run under a state-blind gateway), the window-parallel engine must reproduce
+the serial result exactly — summaries, per-cluster metrics, event counts,
+end times, routing, WAN accounting and energy. Together the two suites give
+the transitive golden guarantee the parallel path ships under: parallel ≡
+serial ≡ committed goldens.
+
+Presets whose default gateway reads shard state run here with RANDOM_SPLIT
+(the parallel engine refuses state-reading gateways by design); edge_cloud
+additionally needs explicit routing weights because its cloud site has
+arrival weight 0.
+"""
+
+import pytest
+
+from repro.scenarios import build_scenario
+
+# (preset, factory overrides) — every federated preset in the registry that
+# the parallel engine can legally run. fed_rebalance is absent by design:
+# mid-queue migration is a zero-lookahead coupling and is refused.
+FEDERATED_PRESETS = [
+    ("edge_cloud", {"gateway": "RANDOM_SPLIT",
+                    "gateway_params": {"weights": [0.6, 0.4]}}),
+    ("geo_3site", {"gateway": "RANDOM_SPLIT"}),
+    ("fed_heavytail", {"gateway": "RANDOM_SPLIT"}),
+    ("fed_congested", {"gateway": "RANDOM_SPLIT"}),
+    ("diurnal_wan", {"gateway": "RANDOM_SPLIT"}),
+    # The federation-scale preset, shrunk to test-tier runtime (8 sites,
+    # one simulated minute) — same code paths, ~1/20 the events.
+    ("scale_federation", {"duration": 60.0, "n_clusters": 8}),
+]
+
+
+def _fingerprint(result):
+    return {
+        "summary": result.summary.as_dict(),
+        "per_cluster": {
+            name: s.as_dict() for name, s in result.per_cluster.items()
+        },
+        "events_processed": result.events_processed,
+        "end_time": result.end_time,
+        "routing": result.routing,
+        "offloaded": result.offloaded,
+        "wan_time_total": result.wan_time_total,
+        "energy": result.energy,
+        "wan_delivered": {
+            name: u.delivered for name, u in result.wan_links.items()
+        },
+    }
+
+
+@pytest.mark.parametrize(
+    "preset,overrides",
+    FEDERATED_PRESETS,
+    ids=[name for name, _ in FEDERATED_PRESETS],
+)
+def test_parallel_reproduces_serial_preset(preset, overrides):
+    serial = build_scenario(preset, **overrides).run()
+    parallel = (
+        build_scenario(preset, **overrides)
+        .build_simulator(parallel_workers=2)
+        .run()
+    )
+    assert _fingerprint(parallel) == _fingerprint(serial)
+
+
+def test_worker_count_never_changes_a_preset():
+    """The shard partition is invisible: 1, 2 and 4 workers agree exactly."""
+    prints = []
+    for workers in (1, 2, 4):
+        scenario = build_scenario(
+            "scale_federation", duration=60.0, n_clusters=8
+        )
+        result = scenario.build_simulator(parallel_workers=workers).run()
+        prints.append(_fingerprint(result))
+    assert prints[0] == prints[1] == prints[2]

@@ -1,0 +1,56 @@
+"""`InterClusterTopology.min_link_lookahead` — the conservative window width.
+
+The parallel federated engine advances in windows of exactly this value, so
+its contract is strict: the *minimum* over every effective directed link
+between the given sites, and a hard configuration error — not a silent zero
+— when any such link has no latency (a zero-delay link makes remote effects
+instantaneous and conservative windowing impossible).
+"""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.net.topology import InterClusterTopology, Link
+
+
+class TestMinLinkLookahead:
+    def test_uniform_topology_lookahead_is_the_latency(self):
+        topo = InterClusterTopology.uniform(["a", "b", "c"], latency=0.25)
+        assert topo.min_link_lookahead(["a", "b", "c"]) == 0.25
+
+    def test_minimum_over_heterogeneous_links(self):
+        topo = InterClusterTopology(default=Link(1.0))
+        topo.set_link("a", "b", 0.8)
+        topo.set_link("b", "c", 0.05)
+        assert topo.min_link_lookahead(["a", "b", "c"]) == 0.05
+
+    def test_directed_links_both_directions_count(self):
+        topo = InterClusterTopology(symmetric=False, default=Link(1.0))
+        topo.set_link("a", "b", 0.9)
+        topo.set_link("b", "a", 0.02)
+        assert topo.min_link_lookahead(["a", "b"]) == 0.02
+
+    def test_only_named_clusters_are_considered(self):
+        # A zero-latency link to a site outside the federation is harmless.
+        topo = InterClusterTopology(default=Link(0.5))
+        topo.set_link("a", "elsewhere", 0.0)
+        assert topo.min_link_lookahead(["a", "b"]) == 0.5
+
+    def test_zero_latency_link_is_a_configuration_error(self):
+        topo = InterClusterTopology(default=Link(0.5))
+        topo.set_link("a", "b", 0.0)
+        with pytest.raises(ConfigurationError, match="zero latency"):
+            topo.min_link_lookahead(["a", "b", "c"])
+
+    def test_default_zero_latency_topology_is_rejected(self):
+        # The all-defaults topology has free links everywhere: serial-only.
+        topo = InterClusterTopology()
+        with pytest.raises(ConfigurationError, match="zero latency"):
+            topo.min_link_lookahead(["a", "b"])
+
+    def test_fewer_than_two_clusters_is_a_configuration_error(self):
+        topo = InterClusterTopology.uniform(["a", "b"], latency=0.5)
+        with pytest.raises(ConfigurationError, match="at least two"):
+            topo.min_link_lookahead(["a"])
+        with pytest.raises(ConfigurationError, match="at least two"):
+            topo.min_link_lookahead([])

@@ -1,0 +1,147 @@
+"""Property-based equivalence of serial and window-parallel federated runs.
+
+The windowed-parallel engine (:mod:`repro.federation.parallel`) claims *bit*
+identity with the serial :class:`~repro.federation.simulator.
+FederatedSimulator` — not statistical agreement. These properties put that
+claim under randomly generated federations: random cluster counts, machine
+mixes, WAN latencies, workloads and seeds, always with the state-blind
+RANDOM_SPLIT gateway (the class of routing policies the parallel engine
+accepts). Two invariants, mirroring the campaign runner's worker-pool suite
+(``tests/experiments/test_runner.py``):
+
+* serial ≡ parallel: identical ``SummaryMetrics`` (global and per-cluster),
+  event counts, end times and routing matrices;
+* worker-count independence: 1, 2 and 4 workers produce the same result —
+  the partition is bookkeeping, never physics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.federation.parallel import ParallelFederatedSimulator
+from repro.federation.simulator import FederatedSimulator
+from repro.federation.spec import ClusterSpec, FederationSpec
+from repro.machines.eet_generation import generate_eet_cvb
+from repro.net.topology import InterClusterTopology
+from repro.tasks.task import Task
+from repro.tasks.workload import Workload
+
+
+@st.composite
+def random_federation(draw):
+    n_clusters = draw(st.integers(min_value=2, max_value=4))
+    n_types = draw(st.integers(min_value=1, max_value=3))
+    n_machine_types = draw(st.integers(min_value=1, max_value=3))
+    eet_seed = draw(st.integers(min_value=0, max_value=10_000))
+    eet = generate_eet_cvb(
+        n_types, n_machine_types, mean_task=5.0, v_task=0.5, v_machine=0.5,
+        seed=eet_seed,
+    )
+    latency = draw(st.floats(min_value=0.01, max_value=2.0, allow_nan=False))
+    bandwidth = draw(st.sampled_from([0.0, 5.0, 50.0]))
+    # A latency-only link (bandwidth 0) has nothing to contend for.
+    contention = (
+        "none" if bandwidth == 0.0
+        else draw(st.sampled_from(["none", "fifo", "ps"]))
+    )
+    scheduler = draw(st.sampled_from(["MECT", "FCFS", "MM", "SUFFERAGE"]))
+    spec = FederationSpec(
+        clusters=[
+            ClusterSpec(
+                name=f"c{i}",
+                machine_counts={
+                    name: draw(st.integers(min_value=1, max_value=2))
+                    for name in eet.machine_type_names
+                },
+                weight=1.0,
+            )
+            for i in range(n_clusters)
+        ],
+        gateway="RANDOM_SPLIT",
+        topology=InterClusterTopology.uniform(
+            [f"c{i}" for i in range(n_clusters)],
+            latency=latency,
+            bandwidth=bandwidth,
+            contention=contention,
+        ),
+    )
+    n_tasks = draw(st.integers(min_value=0, max_value=30))
+    tasks = []
+    for i in range(n_tasks):
+        arrival = draw(
+            st.floats(min_value=0.0, max_value=40.0, allow_nan=False)
+        )
+        slack = draw(
+            st.floats(min_value=0.1, max_value=30.0, allow_nan=False)
+        )
+        tasks.append((i, draw(st.integers(0, n_types - 1)), arrival, slack))
+    sim_seed = draw(st.integers(min_value=0, max_value=10_000))
+    return eet, spec, scheduler, tasks, sim_seed
+
+
+def _workload(eet, task_specs):
+    task_types = eet.task_types
+    return Workload(
+        task_types=task_types,
+        tasks=[
+            Task(
+                id=i,
+                task_type=task_types[ti],
+                arrival_time=arr,
+                deadline=arr + slack,
+            )
+            for i, ti, arr, slack in task_specs
+        ],
+    )
+
+
+def _fingerprint(result):
+    """Everything observable about a federated run, in comparable form."""
+    return (
+        result.summary.as_dict(),
+        {name: s.as_dict() for name, s in result.per_cluster.items()},
+        result.events_processed,
+        result.end_time,
+        result.routing,
+        result.offloaded,
+        result.wan_time_total,
+        result.energy,
+        {name: u.delivered for name, u in result.wan_links.items()},
+    )
+
+
+def _run_serial(eet, spec, scheduler, task_specs, seed):
+    sim = FederatedSimulator(
+        spec, eet, _workload(eet, task_specs),
+        seed=seed, default_scheduler=scheduler,
+    )
+    return sim.run()
+
+
+def _run_parallel(eet, spec, scheduler, task_specs, seed, workers):
+    sim = ParallelFederatedSimulator(
+        spec, eet, _workload(eet, task_specs),
+        workers=workers, seed=seed, default_scheduler=scheduler,
+    )
+    return sim.run()
+
+
+@given(random_federation())
+@settings(max_examples=25, deadline=None)
+def test_parallel_matches_serial(federation):
+    eet, spec, scheduler, task_specs, seed = federation
+    serial = _run_serial(eet, spec, scheduler, task_specs, seed)
+    parallel = _run_parallel(eet, spec, scheduler, task_specs, seed, 2)
+    assert _fingerprint(parallel) == _fingerprint(serial)
+
+
+@given(random_federation())
+@settings(max_examples=10, deadline=None)
+def test_worker_count_independence(federation):
+    """1, 2 and 4 workers are the same simulation, exactly."""
+    eet, spec, scheduler, task_specs, seed = federation
+    prints = [
+        _fingerprint(_run_parallel(eet, spec, scheduler, task_specs, seed, w))
+        for w in (1, 2, 4)
+    ]
+    assert prints[0] == prints[1] == prints[2]

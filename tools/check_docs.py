@@ -176,6 +176,7 @@ def main(argv: list[str] | None = None) -> int:
     for doc, minimum in (
         ("README.md", 3),
         (Path("docs") / "FEDERATION.md", 12),
+        (Path("docs") / "PERFORMANCE.md", 8),
         (Path("docs") / "SERVICE.md", 12),
         (Path("docs") / "WORKLOADS.md", 12),
     ):
