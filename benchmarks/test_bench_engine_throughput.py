@@ -204,6 +204,38 @@ def test_bench_migration_throughput(benchmark, results_dir):
     assert events_per_sec > 1000
 
 
+def test_bench_adaptive_throughput(benchmark, results_dir):
+    """Adaptive tier: the fed_adaptive preset, where every arrival runs
+    the bandit's arm selection, every terminal task funnels back through
+    the reward loop, and the rebalancer evaluates watermark hysteresis on
+    each tick. Guards the learning-gateway overhead: the feedback path
+    (one callback per terminal task) and the per-decision bookkeeping must
+    not knock the federated engine out of its throughput envelope."""
+    scenario = build_scenario("fed_adaptive")
+    result = benchmark.pedantic(
+        scenario.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    events_per_sec = result.events_processed / benchmark.stats["mean"]
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    _record(
+        results_dir,
+        "adaptive tier (bandit gateway + hysteresis)",
+        f"{result.events_processed} events, "
+        f"{result.summary.total_tasks} tasks, "
+        f"{result.offload_rate:.0%} offloaded, "
+        f"{events_per_sec:,.0f} events/s",
+        events=result.events_processed,
+        tasks=result.summary.total_tasks,
+        offload_rate=round(result.offload_rate, 4),
+        events_per_sec=round(events_per_sec, 1),
+        mean_wall_s=benchmark.stats["mean"],
+    )
+    assert result.summary.total_tasks > 500
+    assert 0.0 < result.offload_rate < 1.0
+    assert events_per_sec > 1000
+
+
 def test_bench_trace_replay_throughput(benchmark, results_dir):
     """Trace tier: the trace_replay preset, whose workload comes from the
     full TraceSpec ingestion pipeline (CSV parse, rescale, quantile

@@ -73,7 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--gateway", default=None,
         help="inter-cluster offloading policy for federated presets "
-        "(LOCALITY_FIRST, LEAST_LOADED, EET_AWARE_REMOTE, RANDOM_SPLIT)",
+        "(see 'schedulers' for the registry, e.g. ADAPTIVE, EET_AWARE_REMOTE)",
     )
     run.add_argument(
         "--migration", default=None, metavar="POLICY",
@@ -198,6 +198,63 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--save-spec", type=Path, default=None, metavar="JSON",
         help="write the expanded campaign spec to JSON (reload with --spec)",
+    )
+
+    tournament = sub.add_parser(
+        "tournament",
+        help="rank every gateway x eviction policy pair on a preset grid",
+        description=(
+            "Run the federation policy tournament: every gateway routing "
+            "policy paired with every mid-queue eviction policy, across a "
+            "grid of federated presets and repetition seeds, fanned out "
+            "over worker processes. Prints the ranked leaderboard; the "
+            "JSON written by --out is byte-identical for the same spec "
+            "whatever the worker count."
+        ),
+    )
+    tournament.add_argument(
+        "--presets", default=None, metavar="NAME[,NAME...]",
+        help="comma-separated federated preset names "
+        "(default: fed_rebalance,fed_adaptive)",
+    )
+    tournament.add_argument(
+        "--gateways", default=None, metavar="NAME[,NAME...]",
+        help="gateway policies to enter (default: all registered)",
+    )
+    tournament.add_argument(
+        "--evictions", default=None, metavar="NAME[,NAME...]",
+        help="eviction policies to enter (default: all registered)",
+    )
+    tournament.add_argument(
+        "--scheduler", default="MM",
+        help="local scheduling policy inside every cluster (default MM)",
+    )
+    tournament.add_argument(
+        "--repetitions", type=int, default=1,
+        help="grid seeds per pairing; each gives every pairing a fresh "
+        "shared workload (default 1)",
+    )
+    tournament.add_argument(
+        "--seed", type=int, default=0,
+        help="tournament master seed all per-run seeds derive from "
+        "(default 0)",
+    )
+    tournament.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per CPU, capped at grid size)",
+    )
+    tournament.add_argument(
+        "--serial", action="store_true",
+        help="run in-process without worker processes (same leaderboard, "
+        "slower)",
+    )
+    tournament.add_argument(
+        "--out", type=Path, default=None, metavar="JSON",
+        help="write the canonical leaderboard JSON to FILE",
+    )
+    tournament.add_argument(
+        "--save-table", type=Path, default=None, metavar="CSV",
+        help="write the tidy per-run campaign table to CSV",
     )
 
     serve = sub.add_parser(
@@ -612,11 +669,42 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _policy_params(klass: type) -> str:
+    """Constructor-kwarg suffix for a policy listing row.
+
+    Renders ``(threshold=2.0, seed=0)`` from the class ``__init__``
+    signature so the listing doubles as the reference for what
+    ``--gateway-params`` / ``scheduler_params`` / ``policy_params`` accept.
+    Empty string for parameterless policies.
+    """
+    import inspect
+
+    try:
+        signature = inspect.signature(klass.__init__)
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return ""
+    parts = []
+    for parameter in signature.parameters.values():
+        if parameter.name == "self" or parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        if parameter.default is inspect.Parameter.empty:
+            parts.append(parameter.name)
+        else:
+            parts.append(f"{parameter.name}={parameter.default!r}")
+    return f" ({', '.join(parts)})" if parts else ""
+
+
 def _cmd_schedulers(args: argparse.Namespace) -> int:
     mode = SchedulingMode(args.mode) if args.mode else None
     for name in available_schedulers(mode):
         klass = scheduler_class(name)
-        print(f"{name:<10} [{klass.mode.value}] {klass.description}")
+        print(
+            f"{name:<10} [{klass.mode.value}] {klass.description}"
+            f"{_policy_params(klass)}"
+        )
     if mode is None:
         from .scheduling.federation import (
             available_evictions,
@@ -629,12 +717,18 @@ def _cmd_schedulers(args: argparse.Namespace) -> int:
         print("gateway policies (federated scenarios, --gateway):")
         for name in available_gateways():
             gateway = gateway_class(name)
-            print(f"{name:<18} [gateway] {gateway.description}")
+            print(
+                f"{name:<18} [gateway] {gateway.description}"
+                f"{_policy_params(gateway)}"
+            )
         print()
         print("eviction policies (mid-queue migration, --migration):")
         for name in available_evictions():
             eviction = eviction_class(name)
-            print(f"{name:<18} [eviction] {eviction.description}")
+            print(
+                f"{name:<18} [eviction] {eviction.description}"
+                f"{_policy_params(eviction)}"
+            )
     return 0
 
 
@@ -710,6 +804,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"\nsaved table: {args.save_table}")
     if args.save_spec is not None:
         print(f"saved spec: {args.save_spec}")
+    return 0
+
+
+def _cmd_tournament(args: argparse.Namespace) -> int:
+    from .experiments import TournamentSpec, run_tournament
+
+    kwargs: dict = {}
+    if args.presets:
+        kwargs["presets"] = tuple(_split_csv(args.presets))
+    if args.gateways:
+        kwargs["gateways"] = tuple(_split_csv(args.gateways))
+    if args.evictions:
+        kwargs["evictions"] = tuple(_split_csv(args.evictions))
+    spec = TournamentSpec(
+        scheduler=args.scheduler,
+        repetitions=args.repetitions,
+        seed=args.seed,
+        **kwargs,
+    )
+    result = run_tournament(
+        spec, parallel=not args.serial, workers=args.workers
+    )
+    # Save before printing: stdout may be a pager/head that closes early,
+    # and a BrokenPipeError must not cost the user their artifacts.
+    if args.out is not None:
+        args.out.write_text(result.to_json())
+    if args.save_table is not None:
+        result.campaign.to_csv(args.save_table)
+    print(result.to_text())
+    if args.out is not None:
+        print(f"\nsaved leaderboard: {args.out}")
+    if args.save_table is not None:
+        print(f"saved table: {args.save_table}")
     return 0
 
 
@@ -1159,6 +1286,7 @@ _COMMANDS = {
     "schedulers": _cmd_schedulers,
     "scenarios": _cmd_scenarios,
     "sweep": _cmd_sweep,
+    "tournament": _cmd_tournament,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "trace": _cmd_trace,

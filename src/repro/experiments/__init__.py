@@ -20,6 +20,10 @@ into a tidy table plus a cross-policy comparison report::
 Determinism contract: given the same spec (including the campaign ``seed``),
 the aggregated table is byte-identical across serial and parallel execution
 and across any worker count.
+
+:mod:`.tournament` builds on campaigns: it expands every gateway × eviction
+policy pairing over a preset grid into one campaign and distils the result
+into a ranked, canonically-rendered leaderboard (``e2c-sim tournament``).
 """
 
 from .campaign import DEFAULT_METRICS, CampaignSpec, RunSpec, ScenarioRef
@@ -30,6 +34,16 @@ from .runner import (
     execute_campaign,
     result_extras,
     run_campaign,
+)
+from .tournament import (
+    TournamentResult,
+    TournamentSpec,
+    build_leaderboard,
+    leaderboard_json,
+    leaderboard_rows_from_csv,
+    leaderboard_text,
+    run_tournament,
+    tournament_campaign,
 )
 
 __all__ = [
@@ -43,4 +57,12 @@ __all__ = [
     "run_campaign",
     "execute_campaign",
     "result_extras",
+    "TournamentSpec",
+    "TournamentResult",
+    "tournament_campaign",
+    "run_tournament",
+    "build_leaderboard",
+    "leaderboard_rows_from_csv",
+    "leaderboard_json",
+    "leaderboard_text",
 ]

@@ -74,6 +74,9 @@ class Rebalancer:
         #: (full link cost, added as each migration finishes its crossing).
         self._wan_energy_by_task: dict[int, float] = {}
         self._ticks = 0
+        #: Sources currently shedding load (between the watermarks of the
+        #: hysteresis trigger); empty while no watermarks are configured.
+        self._shedding: set[int] = set()
 
     # -- the tick loop ------------------------------------------------------------------
 
@@ -109,12 +112,16 @@ class Rebalancer:
             return
         for source in shards:
             if len(source.batch_queue) < spec.min_queue:
+                # A source too shallow to rebalance has, for hysteresis
+                # purposes, drained: it must re-cross the high watermark
+                # before it sheds again.
+                self._shedding.discard(source.index)
                 continue
             destination = self._drain_target(source)
             if destination is None:
                 continue
             gap = shard_pressure(source) - shard_pressure(destination)
-            if gap < spec.pressure_gap:
+            if not self._should_fire(source.index, gap):
                 continue
             candidates = [
                 task
@@ -134,6 +141,31 @@ class Rebalancer:
             )
             for task in self.policy.select(ctx)[: spec.batch_max]:
                 self._migrate(task, source, destination, now)
+
+    def _should_fire(self, source: int, gap: float) -> bool:
+        """The rebalance trigger: plain threshold, or watermark hysteresis.
+
+        Without watermarks the pass fires whenever the pressure gap reaches
+        ``pressure_gap`` — the original fixed-threshold behaviour, event
+        stream untouched. With watermarks the source is a two-state machine:
+        it *starts* shedding only when the gap crosses ``high_watermark``
+        and keeps shedding until the gap falls to ``low_watermark``. The
+        dead band in between never starts a shed, so a source whose
+        pressure oscillates inside it cannot thrash tasks back and forth.
+        """
+        spec = self.spec
+        high, low = spec.high_watermark, spec.low_watermark
+        if high is None or low is None:
+            return gap >= spec.pressure_gap
+        if source in self._shedding:
+            if gap <= low:
+                self._shedding.discard(source)
+                return False
+            return True
+        if gap >= high:
+            self._shedding.add(source)
+            return True
+        return False
 
     def _drain_target(self, source: "ClusterShard") -> "ClusterShard | None":
         """Least-pressure remote shard (ties → lowest index)."""
@@ -215,6 +247,16 @@ class Rebalancer:
     def ticks(self) -> int:
         """Rebalance passes executed (including no-op passes)."""
         return self._ticks
+
+    @property
+    def shedding(self) -> frozenset[int]:
+        """Shard indices currently in the shedding state (hysteresis only)."""
+        return frozenset(self._shedding)
+
+    @property
+    def matrix_counts(self) -> list[list[int]]:
+        """Live source × destination counters (shared reference, read-only)."""
+        return self._matrix
 
     def matrix(self) -> dict[str, dict[str, int]]:
         """Name-keyed source × destination migration counters."""

@@ -225,7 +225,24 @@ class FederatedSimulator:
             topology=self.topology,
             rng=self._gateway_rng,
             wan=self._wan,
+            # Live reference: the gateway sees every migration the moment
+            # the rebalancer books it.
+            migrations=(
+                None
+                if self._rebalancer is None
+                else self._rebalancer.matrix_counts
+            ),
         )
+        if self.gateway.wants_feedback:
+            # Every terminal task funnels through exactly one shard
+            # collector (completions, deadline misses, in-WAN
+            # cancellations), so hooking record_terminal there pays the
+            # learning gateway for precisely the tasks it routed.
+            def _feed_back(task: Task) -> None:
+                self.gateway.record_outcome(task, self.clock._now)
+
+            for shard in self.shards:
+                shard.collector.on_terminal = _feed_back
 
         # Origin assignment: one vectorised draw, a pure function of the
         # federation seed — identical across gateway/local-policy sweeps.

@@ -48,6 +48,15 @@ class MigrationSpec:
         Maximum tasks evicted per source cluster per pass.
     min_queue:
         Sources with fewer batch-queued tasks than this are left alone.
+    high_watermark / low_watermark:
+        Optional hysteresis on the trigger (set both or neither). A source
+        *starts* shedding only once its pressure gap crosses
+        ``high_watermark`` and keeps shedding until the gap falls to
+        ``low_watermark``; the dead band in between never starts a shed.
+        Replaces the single ``pressure_gap`` threshold (which is ignored
+        while watermarks are set); unset, the trigger is the original
+        fixed threshold and the event stream is bit-identical to pre-
+        hysteresis builds.
     """
 
     policy: str = "LONGEST_WAIT"
@@ -56,6 +65,8 @@ class MigrationSpec:
     pressure_gap: float = 1.0
     batch_max: int = 4
     min_queue: int = 2
+    high_watermark: float | None = None
+    low_watermark: float | None = None
 
     def __post_init__(self) -> None:
         if not self.policy:
@@ -76,6 +87,20 @@ class MigrationSpec:
             raise ConfigurationError(
                 f"min_queue must be >= 1, got {self.min_queue}"
             )
+        if (self.high_watermark is None) != (self.low_watermark is None):
+            raise ConfigurationError(
+                "high_watermark and low_watermark must be set together"
+            )
+        if self.high_watermark is not None and self.low_watermark is not None:
+            if self.low_watermark < 0:
+                raise ConfigurationError(
+                    f"low_watermark must be >= 0, got {self.low_watermark}"
+                )
+            if self.high_watermark < self.low_watermark:
+                raise ConfigurationError(
+                    f"high_watermark ({self.high_watermark}) must be >= "
+                    f"low_watermark ({self.low_watermark})"
+                )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (omits empty policy params)."""
@@ -88,6 +113,9 @@ class MigrationSpec:
         }
         if self.policy_params:
             out["policy_params"] = dict(self.policy_params)
+        if self.high_watermark is not None:
+            out["high_watermark"] = self.high_watermark
+            out["low_watermark"] = self.low_watermark
         return out
 
     @classmethod
@@ -104,11 +132,15 @@ class MigrationSpec:
             "pressure_gap",
             "batch_max",
             "min_queue",
+            "high_watermark",
+            "low_watermark",
         }
         if unknown:
             raise ConfigurationError(
                 f"migration spec has unknown key(s) {sorted(unknown)}"
             )
+        high = data.get("high_watermark")
+        low = data.get("low_watermark")
         return cls(
             policy=str(data.get("policy", "LONGEST_WAIT")),
             policy_params=dict(data.get("policy_params", {})),
@@ -116,6 +148,8 @@ class MigrationSpec:
             pressure_gap=float(data.get("pressure_gap", 1.0)),
             batch_max=int(data.get("batch_max", 4)),
             min_queue=int(data.get("min_queue", 2)),
+            high_watermark=None if high is None else float(high),
+            low_watermark=None if low is None else float(low),
         )
 
 

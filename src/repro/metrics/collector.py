@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from operator import itemgetter
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..core.errors import ReportError
 from ..tasks.task import Task, TaskStatus
@@ -100,6 +100,12 @@ class MetricsCollector:
         self._cancelled = 0
         self._missed = 0
         self._on_time = 0
+        #: Optional observer fired after each terminal task is recorded.
+        #: Every terminal path of every engine funnels through
+        #: :meth:`record_terminal`, so this single hook sees completions,
+        #: deadline misses and in-WAN cancellations alike — the federated
+        #: simulator uses it to pay the adaptive gateway's reward signal.
+        self.on_terminal: Callable[[Task], None] | None = None
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -144,6 +150,8 @@ class MetricsCollector:
             self._missed += 1
         if on_time:
             self._on_time += 1
+        if self.on_terminal is not None:
+            self.on_terminal(task)
 
     def merge_from(self, other: "MetricsCollector") -> None:
         """Fold another collector's recorded tasks into this one.

@@ -15,6 +15,7 @@ and the ``e2c-sim scenarios`` / ``e2c-sim sweep`` subcommands:
 
 from .federated import (
     edge_cloud,
+    fed_adaptive,
     fed_congested,
     fed_heavytail,
     fed_rebalance,
@@ -43,6 +44,7 @@ __all__ = [
     "fed_heavytail",
     "fed_congested",
     "fed_rebalance",
+    "fed_adaptive",
     "trace_replay",
     "diurnal_wan",
     "register_scenario",

@@ -40,6 +40,7 @@ __all__ = [
     "fed_heavytail",
     "fed_congested",
     "fed_rebalance",
+    "fed_adaptive",
 ]
 
 
@@ -413,6 +414,130 @@ def fed_rebalance(
         federation=federation,
         seed=seed,
         name="fed_rebalance",
+    )
+
+
+@register_scenario
+def fed_adaptive(
+    *,
+    scheduler: str = "MM",
+    gateway: str = "ADAPTIVE",
+    gateway_params: dict | None = None,
+    migration: str | dict | MigrationSpec | None = "LONGEST_WAIT",
+    migration_interval: float = 3.0,
+    high_watermark: float = 2.5,
+    low_watermark: float = 1.0,
+    intensity: str | float = 1.3,
+    duration: float = 400.0,
+    seed: int = 61,
+    uplink_bandwidth: float = 10.0,
+    energy_per_mb: float = 0.3,
+) -> Scenario:
+    """The learning gateway's home turf: bandit routing + hysteresis relief.
+
+    The same two-site shape as :func:`fed_rebalance` — a slow,
+    oversubscribed *access* site, a fast *relief* site behind one narrow,
+    energy-metered FIFO uplink — but wired for the adaptive policy layer:
+    the default gateway is the UCB bandit (:class:`~repro.scheduling.
+    federation.adaptive.AdaptiveGateway`), and the rebalancer runs the
+    watermarked hysteresis trigger (shedding starts above
+    ``high_watermark``, stops at ``low_watermark``) instead of a single
+    fixed threshold. Batch scheduling (MM, tight machine queues) makes the
+    analytic gateways' completion estimates blind to the batch-queue
+    backlog — exactly the information the bandit recovers from observed
+    deadline outcomes, which is why it out-completes EET_AWARE_REMOTE here
+    (the golden suite pins that comparison).
+
+    Sweep ``gateway``/``migration`` like any other preset; the tournament
+    harness (``e2c-sim tournament``) uses exactly those two knobs.
+    """
+    task_types = [
+        TaskType("video_analytics", 0, data_in=8.0),
+        TaskType("sensor_fusion", 1, data_in=0.5),
+        TaskType("model_update", 2, data_in=20.0),
+    ]
+    eet = EETMatrix(
+        np.array(
+            [
+                # access_cpu  relief_cpu  relief_gpu
+                [25.0, 8.0, 2.5],    # video analytics
+                [6.0, 3.0, 2.0],     # sensor fusion
+                [40.0, 12.0, 4.0],   # model update
+            ]
+        ),
+        task_types,
+        ["access_cpu", "relief_cpu", "relief_gpu"],
+    )
+    if migration is None or isinstance(migration, MigrationSpec):
+        migration_spec = migration
+    elif isinstance(migration, str):
+        migration_spec = MigrationSpec(
+            policy=migration,
+            interval=migration_interval,
+            pressure_gap=0.5,
+            batch_max=8,
+            high_watermark=high_watermark,
+            low_watermark=low_watermark,
+        )
+    else:
+        migration_spec = MigrationSpec.from_dict(migration)
+    topology = InterClusterTopology()
+    topology.set_link(
+        "access", "relief", 0.05, uplink_bandwidth,
+        contention="fifo", energy_per_mb=energy_per_mb,
+        idle_watts=2.0, busy_watts=12.0,
+    )
+    gparams = dict(gateway_params or {})
+    canonical_gateway = gateway.upper().replace("-", "_")
+    if canonical_gateway in ("ADAPTIVE", "BANDIT"):
+        # UCB explores harder than the epsilon default and wins this
+        # scenario decisively; override via gateway_params.
+        gparams.setdefault("strategy", "ucb")
+        gparams.setdefault("ucb_c", 1.0)
+    elif canonical_gateway in ("LOCALITY_FIRST", "LOCALITY"):
+        # Same stickiness as fed_rebalance: relief via migration, not
+        # arrival routing.
+        gparams.setdefault("threshold", 16.0)
+    federation = FederationSpec(
+        clusters=[
+            ClusterSpec(
+                name="access",
+                machine_counts={"access_cpu": 4},
+                weight=1.0,
+            ),
+            ClusterSpec(
+                name="relief",
+                machine_counts={"relief_cpu": 4, "relief_gpu": 2},
+                weight=0.0,  # migration/offload target only
+            ),
+        ],
+        gateway=gateway,
+        gateway_params=gparams,
+        topology=topology,
+        migration=migration_spec,
+    )
+    return Scenario(
+        eet=eet,
+        machine_counts={"access_cpu": 4, "relief_cpu": 4, "relief_gpu": 2},
+        scheduler=scheduler,
+        queue_capacity=1.0,
+        generator={
+            "duration": duration,
+            "intensity": intensity,
+            "specs": [
+                {"name": "video_analytics", "share": 1.0, "slack_factor": 4.0},
+                {"name": "sensor_fusion", "share": 2.0, "slack_factor": 5.0},
+                {"name": "model_update", "share": 0.5, "slack_factor": 6.0},
+            ],
+        },
+        power_profiles={
+            "access_cpu": PowerProfile(idle_watts=3.0, busy_watts=9.0),
+            "relief_cpu": PowerProfile(idle_watts=40.0, busy_watts=120.0),
+            "relief_gpu": PowerProfile(idle_watts=35.0, busy_watts=260.0),
+        },
+        federation=federation,
+        seed=seed,
+        name="fed_adaptive",
     )
 
 

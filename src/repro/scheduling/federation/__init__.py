@@ -2,9 +2,9 @@
 
 Mirrors the local-policy plug-in surface: a base class
 (:class:`GatewayPolicy`), a registry (:func:`register_gateway` /
-:func:`create_gateway` / :func:`available_gateways`) and four stock
-disciplines — locality-first, least-loaded, EET-aware-remote and
-random-split.
+:func:`create_gateway` / :func:`available_gateways`) and five stock
+disciplines — locality-first, least-loaded, EET-aware-remote, random-split
+and the learning adaptive (bandit) gateway (:mod:`.adaptive`).
 
 The *eviction* policy family (:mod:`.eviction`) is the mid-queue twin:
 where gateways decide a task's cluster once at arrival, eviction policies
@@ -14,6 +14,7 @@ cluster — same registry treatment (:func:`register_eviction` /
 deadline-slack, EET-gain).
 """
 
+from .adaptive import AdaptiveGateway, ArmStats
 from .base import GatewayContext, GatewayPolicy, ShardView, shard_pressure
 from .eviction import (
     DeadlineSlackEviction,
@@ -48,6 +49,8 @@ __all__ = [
     "LeastLoadedGateway",
     "EETAwareRemoteGateway",
     "RandomSplitGateway",
+    "AdaptiveGateway",
+    "ArmStats",
     "register_gateway",
     "create_gateway",
     "available_gateways",

@@ -117,6 +117,12 @@ class GatewayContext:
         congestion and energy signals. ``None`` in lightweight test
         harnesses; the signal methods below then fall back to the static
         topology numbers.
+    migrations:
+        Live source × destination mid-queue migration counters (the
+        rebalancer's matrix, shard-index keyed), or ``None`` when the run
+        has no rebalancer. Lets a gateway see how often its routing
+        decisions are being corrected after the fact — e.g. back off a
+        destination the rebalancer keeps draining.
     """
 
     now: float
@@ -126,6 +132,19 @@ class GatewayContext:
     topology: "InterClusterTopology"
     rng: np.random.Generator
     wan: "WanManager | None" = None
+    migrations: "Sequence[Sequence[int]] | None" = None
+
+    def migrations_between(self, source: int, destination: int) -> int:
+        """Tasks migrated source → destination so far (0 without a rebalancer)."""
+        if self.migrations is None:
+            return 0
+        return self.migrations[source][destination]
+
+    def migrations_from(self, source: int) -> int:
+        """Tasks migrated *off* ``source`` so far (0 without a rebalancer)."""
+        if self.migrations is None:
+            return 0
+        return sum(self.migrations[source])
 
     def wan_delay_to(self, destination: int) -> float:
         """Static (contention-blind) transfer delay of the current task."""
@@ -190,10 +209,23 @@ class GatewayPolicy(abc.ABC):
     #: synchronised with the shards — the property parallel federated
     #: execution needs for bit-identical windowed runs.
     reads_shard_state: ClassVar[bool] = True
+    #: Whether the federation should call :meth:`record_outcome` for every
+    #: terminal task. Learning policies (the adaptive gateway) opt in; the
+    #: default keeps the stock policies free of per-task callback cost.
+    wants_feedback: ClassVar[bool] = False
 
     @abc.abstractmethod
     def choose_cluster(self, ctx: GatewayContext) -> int:
         """Return the index of the shard that should receive ``ctx.task``."""
+
+    def record_outcome(self, task: "Task", now: float) -> None:
+        """Observe a task reaching a terminal state (hook; default no-op).
+
+        Called once per terminal task — completed, deadline-missed, or
+        cancelled in the WAN — when :attr:`wants_feedback` is true, after
+        the owning shard's collector recorded it. Policies must treat the
+        task as read-only.
+        """
 
     def reset(self) -> None:
         """Clear any internal state (between simulation runs)."""

@@ -55,6 +55,29 @@ class TestMigrationSpec:
         )
         assert MigrationSpec.from_dict(spec.to_dict()) == spec
 
+    def test_watermark_spec_round_trips(self):
+        spec = MigrationSpec(
+            policy="LONGEST_WAIT",
+            interval=3.0,
+            high_watermark=2.5,
+            low_watermark=1.0,
+        )
+        data = spec.to_dict()
+        assert data["high_watermark"] == 2.5
+        assert data["low_watermark"] == 1.0
+        assert MigrationSpec.from_dict(data) == spec
+        # Watermark-free specs keep their legacy wire form: no new keys.
+        plain = MigrationSpec().to_dict()
+        assert "high_watermark" not in plain
+        assert "low_watermark" not in plain
+
+    def test_scenario_json_round_trip_preserves_watermarks(self):
+        scenario = build_scenario("fed_adaptive")
+        rebuilt = Scenario.from_json(scenario.to_json())
+        assert rebuilt.federation.migration == scenario.federation.migration
+        assert rebuilt.federation.migration.high_watermark == 2.5
+        assert rebuilt.federation.migration.low_watermark == 1.0
+
     @pytest.mark.parametrize(
         "kwargs",
         [
@@ -64,6 +87,10 @@ class TestMigrationSpec:
             {"batch_max": 0},
             {"min_queue": 0},
             {"policy": ""},
+            {"high_watermark": 2.0},  # both-or-neither
+            {"low_watermark": 1.0},
+            {"high_watermark": 1.0, "low_watermark": 2.0},  # high < low
+            {"high_watermark": 1.0, "low_watermark": -0.5},
         ],
     )
     def test_invalid_parameters_rejected(self, kwargs):

@@ -1,9 +1,9 @@
 """Golden-metrics determinism: pinned SummaryMetrics for preset scenarios.
 
 These tests freeze the *exact* numeric output of several registered presets
-(two single-cluster, one failure-enabled, one trace-driven, four federated —
-contended WAN links, mid-queue migration and background cross-traffic
-included) at fixed seeds. Their purpose is to make hot-path
+(two single-cluster, one failure-enabled, one trace-driven, five federated —
+contended WAN links, mid-queue migration, background cross-traffic and the
+learning bandit gateway included) at fixed seeds. Their purpose is to make hot-path
 refactors falsifiable: any
 change to event ordering, floating-point evaluation order, RNG consumption,
 or metrics aggregation that alters simulation results — however slightly —
@@ -229,6 +229,62 @@ GOLDEN_FED_REBALANCE_LINK = (
     127,
     340.6449856665051,
     1021.9349569995102,
+)
+
+
+#: fed_adaptive preset: the learning bandit gateway (UCB) + watermark
+#: hysteresis rebalancing on the saturated two-site federation.
+GOLDEN_FED_ADAPTIVE_GLOBAL = {
+    "total_tasks": 871,
+    "completed": 524,
+    "cancelled": 207,
+    "missed": 140,
+    "completion_rate": 0.6016073478760046,
+    "cancellation_rate": 0.23765786452353616,
+    "miss_rate": 0.16073478760045926,
+    "on_time": 524,
+    "on_time_rate": 0.6016073478760046,
+    "makespan": 431.60000000000315,
+    "total_energy": 408683.7170309588,
+    "idle_energy": 40918.28656422716,
+    "busy_energy": 367765.43046673166,
+    "energy_per_completed_task": 779.9307576926694,
+    "mean_wait_time": 18.929205376572977,
+    "mean_response_time": 23.848717395537875,
+    "throughput": 1.0521528580932853,
+    "mean_utilization": 0.7210687165822731,
+    "fairness_index": 0.8762828763252646,
+    "completion_rate[model_update]": 0.926829268292683,
+    "completion_rate[sensor_fusion]": 0.3410041841004184,
+    "completion_rate[video_analytics]": 0.9148148148148149,
+}
+GOLDEN_FED_ADAPTIVE_EVENTS = 3534
+GOLDEN_FED_ADAPTIVE_END_TIME = 498.0264948855382
+#: Unlike the sticky fed_rebalance gateway, the bandit learns to offload
+#: most arrivals at the gate; hysteresis keeps migrations to a trickle.
+GOLDEN_FED_ADAPTIVE_ROUTING = {
+    "access": {"access": 217, "relief": 654},
+    "relief": {"access": 0, "relief": 0},
+}
+GOLDEN_FED_ADAPTIVE_MIGRATIONS = {
+    "access": {"access": 0, "relief": 94},
+    "relief": {"access": 21, "relief": 0},
+}
+GOLDEN_FED_ADAPTIVE_STATS = {
+    "attempted": 115,
+    "delivered": 66,
+    "cancelled_in_flight": 49,
+    "completed": 48,
+    "migrated_task_energy": 38110.0,
+    "migration_wan_energy": 169.95000000000002,
+}
+#: Uplink (delivered, abandoned, busy_time, transfer_energy) — offloads
+#: and migrations share the same contended FIFO channel.
+GOLDEN_FED_ADAPTIVE_LINK = (
+    562,
+    207,
+    401.7500000000028,
+    1205.2499999999973,
 )
 
 
@@ -484,6 +540,63 @@ class TestGoldenFedRebalance:
         assert (
             result.summary.completion_rate
             < GOLDEN_FED_REBALANCE_GLOBAL["completion_rate"] - 0.15
+        )
+
+
+class TestGoldenFedAdaptive:
+    """The learning gateway pinned: bandit arm exploration order, reward
+    feedback through the terminal-task funnel, and watermark-hysteresis
+    migration triggering are all frozen bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_scenario("fed_adaptive").run()
+
+    def test_summary_exact(self, result):
+        _assert_exact(result.summary.as_dict(), GOLDEN_FED_ADAPTIVE_GLOBAL)
+
+    def test_event_count_and_end_time_exact(self, result):
+        assert result.events_processed == GOLDEN_FED_ADAPTIVE_EVENTS
+        assert result.end_time == GOLDEN_FED_ADAPTIVE_END_TIME
+
+    def test_routing_and_migration_matrices_exact(self, result):
+        assert result.routing == GOLDEN_FED_ADAPTIVE_ROUTING
+        assert result.offloaded == 654
+        assert result.migrations == GOLDEN_FED_ADAPTIVE_MIGRATIONS
+
+    def test_migration_stats_exact(self, result):
+        stats = result.migration_stats
+        for key, expected in GOLDEN_FED_ADAPTIVE_STATS.items():
+            assert getattr(stats, key) == expected, key
+
+    def test_uplink_usage_exact(self, result):
+        usage = result.wan_links["access<->relief"]
+        assert (
+            usage.delivered,
+            usage.abandoned,
+            usage.busy_time,
+            usage.transfer_energy,
+        ) == GOLDEN_FED_ADAPTIVE_LINK
+
+    def test_conservation(self, result):
+        stats = result.migration_stats
+        assert stats.attempted == stats.delivered + stats.cancelled_in_flight
+        summary = result.summary
+        assert (
+            summary.completed + summary.cancelled + summary.missed
+            == summary.total_tasks
+        )
+
+    def test_adaptive_beats_eet_aware_remote(self, result):
+        # The learning unlock the preset exists to demonstrate: on the same
+        # workload the bandit completes at least as much as the strongest
+        # hand-tuned gateway.
+        eet = build_scenario(
+            "fed_adaptive", gateway="EET_AWARE_REMOTE"
+        ).run()
+        assert (
+            result.summary.completion_rate
+            >= eet.summary.completion_rate
         )
 
 

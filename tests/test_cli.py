@@ -267,8 +267,21 @@ class TestOtherCommands:
         assert "MECT" in out and "MM" in out
         assert "gateway policies" in out
         assert "LEAST_LOADED" in out
+        assert "ADAPTIVE" in out
         assert "eviction policies" in out
         assert "LONGEST_WAIT" in out
+
+    def test_schedulers_listing_shows_constructor_params(self, capsys):
+        # The listing doubles as the reference for what gateway_params /
+        # scheduler_params / policy_params accept: every parameterised
+        # policy row carries its constructor kwargs with defaults.
+        assert main(["schedulers"]) == 0
+        out = capsys.readouterr().out
+        assert "(k=50.0)" in out  # KPB scheduler
+        assert "(threshold=2.0)" in out  # LOCALITY_FIRST gateway
+        assert "epsilon=0.1" in out and "seed=0" in out  # ADAPTIVE
+        assert "strategy='epsilon'" in out
+        assert "(margin=1.5)" in out  # DEADLINE_SLACK eviction
 
     def test_scenarios_listing_includes_federated_presets(self, capsys):
         assert main(["scenarios"]) == 0
@@ -413,6 +426,60 @@ class TestSweep:
         ) == 0
         capsys.readouterr()
         assert first.read_bytes() == second.read_bytes()
+
+
+class TestTournament:
+    ARGS = [
+        "tournament",
+        "--presets", "fed_rebalance",
+        "--gateways", "LEAST_LOADED,LOCALITY_FIRST",
+        "--evictions", "LONGEST_WAIT",
+        "--repetitions", "1",
+        "--seed", "7",
+    ]
+
+    def test_prints_ranked_leaderboard(self, capsys):
+        assert main([*self.ARGS, "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("rank")
+        assert "LEAST_LOADED" in out and "LOCALITY_FIRST" in out
+        assert "completion_rate" in out
+
+    def test_out_json_is_worker_count_invariant(self, tmp_path, capsys):
+        import json
+
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        table = tmp_path / "table.csv"
+        assert main(
+            [*self.ARGS, "--serial", "--out", str(serial)]
+        ) == 0
+        assert main(
+            [
+                *self.ARGS,
+                "--workers", "2",
+                "--out", str(parallel),
+                "--save-table", str(table),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == parallel.read_bytes()
+        board = json.loads(serial.read_text())
+        assert board["kind"] == "tournament-leaderboard"
+        assert [e["rank"] for e in board["entries"]] == [1, 2]
+        assert table.read_text().startswith("scenario,scheduler,seed")
+
+    def test_unknown_gateway_is_a_clean_error(self, capsys):
+        code = main(
+            [
+                "tournament",
+                "--presets", "fed_rebalance",
+                "--gateways", "NO_SUCH_GATEWAY",
+                "--serial",
+            ]
+        )
+        assert code == 1
+        assert "NO_SUCH_GATEWAY" in capsys.readouterr().err
 
 
 class TestBench:

@@ -177,6 +177,7 @@ def main(argv: list[str] | None = None) -> int:
         ("README.md", 3),
         (Path("docs") / "FEDERATION.md", 12),
         (Path("docs") / "PERFORMANCE.md", 8),
+        (Path("docs") / "POLICIES.md", 12),
         (Path("docs") / "SERVICE.md", 12),
         (Path("docs") / "WORKLOADS.md", 12),
     ):
