@@ -388,3 +388,68 @@ def test_bench_parallel_federation_throughput(benchmark, results_dir):
     assert result.summary.total_tasks > 20000
     assert 0.0 < result.offload_rate < 1.0
     assert events_per_sec > 1000
+
+
+def test_bench_hierarchy_throughput(benchmark, results_dir):
+    """Hierarchy tier: the hier_3region preset — 18 leaf clusters under a
+    3-level tree, every offload hopping site and region uplinks store-and-
+    forward (each hop its own transfer on a shared FIFO channel) and every
+    arrival running the tree-pressure gateway's rolled-up subtree walk.
+    Guards the relay machinery: path routing must not knock the federated
+    engine out of its throughput envelope."""
+    scenario = build_scenario("hier_3region")
+    result = benchmark.pedantic(
+        scenario.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    events_per_sec = result.events_processed / benchmark.stats["mean"]
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    _record(
+        results_dir,
+        "hierarchy tier (3 regions x 3 sites x 2 clusters)",
+        f"{result.events_processed} events, "
+        f"{result.summary.total_tasks} tasks, "
+        f"{result.offload_rate:.0%} offloaded, "
+        f"{events_per_sec:,.0f} events/s",
+        events=result.events_processed,
+        tasks=result.summary.total_tasks,
+        offload_rate=round(result.offload_rate, 4),
+        events_per_sec=round(events_per_sec, 1),
+        mean_wall_s=benchmark.stats["mean"],
+    )
+    assert result.summary.total_tasks > 500
+    assert 0.0 < result.offload_rate < 1.0
+    assert result.tree.root.stats["wan_attempted"] == result.offloaded
+    assert events_per_sec > 1000
+
+
+def test_bench_deep_hierarchy_throughput(benchmark, results_dir):
+    """Deep-hierarchy tier: the hier_deep preset — leaves at mixed depths
+    (1 to 4), cross-tree offloads crossing up to three shared uplinks, the
+    deepest of them deliberately skinny. Guards the worst-case relay chain:
+    long store-and-forward paths and deep rollups must stay in the
+    envelope."""
+    scenario = build_scenario("hier_deep")
+    result = benchmark.pedantic(
+        scenario.run, rounds=3, iterations=1, warmup_rounds=1
+    )
+    events_per_sec = result.events_processed / benchmark.stats["mean"]
+    benchmark.extra_info["events"] = result.events_processed
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    _record(
+        results_dir,
+        "deep hierarchy tier (4 levels, mixed-depth leaves)",
+        f"{result.events_processed} events, "
+        f"{result.summary.total_tasks} tasks, "
+        f"{result.offload_rate:.0%} offloaded, "
+        f"{events_per_sec:,.0f} events/s",
+        events=result.events_processed,
+        tasks=result.summary.total_tasks,
+        offload_rate=round(result.offload_rate, 4),
+        events_per_sec=round(events_per_sec, 1),
+        mean_wall_s=benchmark.stats["mean"],
+    )
+    assert result.summary.total_tasks > 300
+    assert 0.0 < result.offload_rate < 1.0
+    assert result.tree.root.stats["wan_attempted"] == result.offloaded
+    assert events_per_sec > 1000

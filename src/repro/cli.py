@@ -115,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write all four reports as CSVs into DIR",
     )
     run.add_argument(
+        "--tree", action="store_true",
+        help="for hierarchical federations: print the per-level rollup "
+        "table (routed / completed / missed / WAN counters at every tree "
+        "node) after the run",
+    )
+    run.add_argument(
         "--animate", action="store_true",
         help="stream the live system view while running",
     )
@@ -600,19 +606,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
             return 2
 
+    if args.tree and (
+        scenario.federation is None or scenario.federation.children is None
+    ):
+        kind = (
+            "a flat federation"
+            if scenario.federation is not None
+            else "single-cluster"
+        )
+        print(
+            f"error: --tree prints the hierarchical rollup, but scenario "
+            f"{scenario.name!r} is {kind}; pick a preset with nested "
+            "'children' (e.g. --scenario hier_3region).",
+            file=sys.stderr,
+        )
+        return 2
+
     if args.animate:
         if scenario.federation is not None:
             n = len(scenario.federation.clusters)
+            shape = (
+                f"this hierarchical federation has {n} leaf cluster "
+                "shards under a multi-level tree"
+                if scenario.federation.children is not None
+                else f"this federation has {n} cluster shards"
+            )
             print(
                 f"error: --animate cannot render scenario "
                 f"{scenario.name!r}: the terminal renderer draws one "
-                f"cluster's machine panel, and this federation has {n} "
-                "cluster shards (a per-shard panel layout is an open "
+                f"cluster's machine panel, and {shape} (a per-shard "
+                "panel layout — flat and hierarchical — is an open "
                 "ROADMAP item, 'Renderer support for federations').\n"
                 "Instead you can:\n"
                 "  - drop --animate to run it headless; the per-cluster "
                 "summary table, routing matrix and WAN link report are "
-                "printed at the end, or\n"
+                "printed at the end (add --tree on a hierarchical "
+                "scenario for the per-level rollup), or\n"
                 "  - animate a single-cluster preset (e.g. --scenario "
                 "satellite_imaging; see 'e2c-sim scenarios').",
                 file=sys.stderr,
@@ -642,6 +671,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Federated run: per-cluster + global summaries and the offload
         # matrix, then any non-summary report the user asked for.
         print(result.to_text())
+        if args.tree:
+            tree = getattr(result, "tree", None)
+            assert tree is not None  # guarded before the run
+            print()
+            print("per-level rollup")
+            print(tree.to_text())
         if args.report != "summary":
             print()
             print(bundle.by_name(args.report).to_text())

@@ -289,7 +289,16 @@ class Scenario:
                 default_scheduler=self.scheduler,
                 default_scheduler_params=self.scheduler_params,
             )
-        return FederatedSimulator(
+        if self.federation.children is not None:
+            # Hierarchical federations route over tree uplinks; the serial
+            # path-routing engine is the only one that supports them (the
+            # parallel engine refuses above with its own explanation).
+            from ..federation.hierarchy import HierarchicalFederatedSimulator
+
+            engine: type[FederatedSimulator] = HierarchicalFederatedSimulator
+        else:
+            engine = FederatedSimulator
+        return engine(
             spec=self.federation,
             eet=self.eet,
             workload=self.build_workload(replication=replication),

@@ -101,11 +101,18 @@ class Event:
     key:
         The precomputed ``(time, priority, seq)`` ordering key.
     cluster:
-        Owning cluster shard in a federated simulation (see
-        :mod:`repro.federation`): the federation loop routes the event to
-        that shard's handlers. ``None`` for single-cluster simulations and
-        for federation-level events (gateway arrivals, global deadlines).
-        Not part of the ordering key.
+        Routing address in a federated simulation (see
+        :mod:`repro.federation`). A plain ``int`` is the owning cluster
+        shard — the federation loop routes the event straight to that
+        shard's handlers. A *cluster path* (non-empty ``tuple`` of node
+        ids, root-most first) addresses an event still descending a
+        hierarchical federation: the remaining hops toward its destination
+        leaf (:mod:`repro.federation.hierarchy`). A single-element path is
+        always stamped in its ``int`` form, so flat federations — depth-1
+        paths — carry byte-identical events to pre-hierarchy builds.
+        ``None`` for single-cluster simulations and for federation-level
+        events (gateway arrivals, global deadlines). Not part of the
+        ordering key.
     """
 
     __slots__ = ("time", "type", "payload", "seq", "key", "cluster")
@@ -115,7 +122,7 @@ class Event:
     payload: Any
     seq: int
     key: tuple[float, int, int]
-    cluster: int | None
+    cluster: int | tuple[int, ...] | None
 
     def __init__(
         self,
@@ -123,7 +130,7 @@ class Event:
         type: EventType,
         payload: Any = None,
         seq: int | None = None,
-        cluster: int | None = None,
+        cluster: int | tuple[int, ...] | None = None,
     ) -> None:
         if seq is None:
             seq = next(_seq_counter)

@@ -19,18 +19,29 @@ tasks from saturated shards' batch queues and re-homes them over the same
 contended WAN channels offloads use.
 """
 
+from .hierarchy import (
+    ClusterPath,
+    FederationTree,
+    HierarchicalFederatedSimulator,
+    HierarchyView,
+)
 from .migration import Rebalancer
 from .result import FederatedSimulationResult
 from .shard import ClusterShard
 from .simulator import FederatedSimulator
-from .spec import ClusterSpec, FederationSpec, MigrationSpec
+from .spec import ClusterSpec, FederationSpec, MigrationSpec, RegionSpec
 
 __all__ = [
     "ClusterSpec",
+    "RegionSpec",
     "FederationSpec",
     "MigrationSpec",
     "ClusterShard",
     "FederatedSimulator",
     "FederatedSimulationResult",
     "Rebalancer",
+    "ClusterPath",
+    "FederationTree",
+    "HierarchyView",
+    "HierarchicalFederatedSimulator",
 ]

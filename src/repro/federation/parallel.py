@@ -119,6 +119,14 @@ class ParallelFederatedSimulator:
                 "migration: the rebalancer reads every shard's batch queue "
                 "at each tick (zero lookahead); run serially instead"
             )
+        if getattr(spec, "children", None) is not None:
+            raise ConfigurationError(
+                "parallel federated execution does not support hierarchical "
+                "federations: relay hops share parent uplink channels, so "
+                "one shard's transfer reorders another's deliveries inside "
+                "any lookahead window (the per-pair link bound no longer "
+                "holds); run hierarchical federations serially instead"
+            )
         # Positive-lookahead check first: its error explains the windowing.
         self.lookahead = spec.topology.min_link_lookahead(spec.names)
         self.workers = workers

@@ -18,7 +18,7 @@ from ..metrics.collector import SummaryMetrics
 from ..metrics.energy import EnergyBreakdown
 from ..metrics.records import RecordsSource
 from ..metrics.reports import ReportBundle
-from ..metrics.rollup import MigrationStats, OffloadEnergySplit
+from ..metrics.rollup import MigrationStats, OffloadEnergySplit, TreeRollup
 from ..net.wan import LinkUsage
 
 __all__ = ["FederatedSimulationResult"]
@@ -62,6 +62,10 @@ class FederatedSimulationResult:
     )
     migrations: dict[str, dict[str, int]] = field(default_factory=dict)
     migration_stats: MigrationStats = field(default_factory=MigrationStats)
+    #: Per-level metric rollup of a *hierarchical* run
+    #: (:class:`~repro.metrics.rollup.TreeRollup`); ``None`` on flat
+    #: federations, whose text/report output stays byte-identical.
+    tree: TreeRollup | None = field(default=None, compare=False)
 
     @cached_property
     def task_records(self) -> list[dict[str, Any]]:

@@ -57,7 +57,7 @@ from ..metrics.rollup import (
     routing_table,
 )
 from ..net.wan import TransferPhase, WanManager, WanTransfer
-from ..scheduling.federation.base import GatewayContext
+from ..scheduling.federation.base import GatewayContext, GatewayPolicy
 from ..scheduling.federation.registry import create_gateway
 from ..scheduling.overhead import SchedulingOverhead
 from ..scheduling.registry import create_scheduler
@@ -140,7 +140,7 @@ class FederatedSimulator:
             ]
             wan_seed = derive_seed(seed, "federation", "crosstraffic")
 
-        self.gateway = create_gateway(spec.gateway, **spec.gateway_params)
+        self.gateway = self._make_gateway()
         self.gateway.reset()
 
         self.shards: list[ClusterShard] = []
@@ -202,9 +202,7 @@ class FederatedSimulator:
         self._offloaded = 0
         # WAN link channels: contention disciplines, per-link energy, and
         # the cancellation handles for tasks still crossing the WAN.
-        self._wan = WanManager(
-            self.topology, self.events, spec.names, seed=wan_seed
-        )
+        self._wan = self._make_wan(wan_seed)
         self._transfers: dict[int, WanTransfer] = {}
         # Mid-queue migration: a periodic rebalance pass sharing the WAN
         # channels above. None when the spec does not ask for it — the
@@ -266,6 +264,23 @@ class FederatedSimulator:
                     shard.start_failure_process()
             if self._rebalancer is not None:
                 self._rebalancer.schedule_first_tick()
+
+    # -- construction hooks ---------------------------------------------------------
+
+    def _make_gateway(self) -> GatewayPolicy:
+        """Build the gateway policy (hook for the hierarchical engine)."""
+        return create_gateway(self.spec.gateway, **self.spec.gateway_params)
+
+    def _make_wan(self, wan_seed: int | None) -> WanManager:
+        """Build the WAN manager (hook for the hierarchical engine).
+
+        Overrides may reassign ``self.topology`` before constructing the
+        manager; the gateway context is built afterwards, so it picks up
+        whatever topology this hook leaves behind.
+        """
+        return WanManager(
+            self.topology, self.events, self.spec.names, seed=wan_seed
+        )
 
     # -- public control surface ----------------------------------------------------
 
@@ -378,7 +393,10 @@ class FederatedSimulator:
     # -- event routing ---------------------------------------------------------------
 
     def _dispatch(self, event: Event) -> None:
-        cluster_id = event.cluster
+        # Flat federations never stamp tuple cluster paths (single-element
+        # paths are always their int form); the hierarchy engine intercepts
+        # tuples in its own _dispatch before delegating here.
+        cluster_id: int | None = event.cluster  # type: ignore[assignment]
         etype = event.type
         if cluster_id is None:
             # Federation-level event: a task arriving at the gateway, or a

@@ -14,9 +14,9 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..core.errors import ConfigurationError
-from ..net.topology import InterClusterTopology
+from ..net.topology import InterClusterTopology, Link
 
-__all__ = ["ClusterSpec", "MigrationSpec", "FederationSpec"]
+__all__ = ["ClusterSpec", "MigrationSpec", "RegionSpec", "FederationSpec"]
 
 
 @dataclass
@@ -183,6 +183,11 @@ class ClusterSpec:
     scheduler_params: dict[str, Any] = field(default_factory=dict)
     queue_capacity: float | None = None
     weight: float = 1.0
+    #: Link to this cluster's parent node in a *hierarchical* federation
+    #: (see :attr:`FederationSpec.children`); ``None`` inherits the
+    #: topology's default link. Ignored — and omitted from JSON — in flat
+    #: federations, so legacy specs round-trip byte-identically.
+    uplink: Link | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -211,6 +216,8 @@ class ClusterSpec:
             raise ConfigurationError(
                 f"cluster {self.name!r}: weight must be >= 0, got {self.weight}"
             )
+        if self.uplink is not None and not isinstance(self.uplink, Link):
+            self.uplink = Link.from_spec(self.uplink)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (omits unset optional fields)."""
@@ -225,6 +232,8 @@ class ClusterSpec:
             out["scheduler_params"] = dict(self.scheduler_params)
         if self.queue_capacity is not None:
             out["queue_capacity"] = self.queue_capacity
+        if self.uplink is not None:
+            out["uplink"] = self.uplink.to_spec()
         return out
 
     @classmethod
@@ -236,6 +245,7 @@ class ClusterSpec:
             raise ConfigurationError(
                 f"cluster spec is missing required key {exc.args[0]!r}"
             ) from None
+        uplink = data.get("uplink")
         return cls(
             name=str(name),
             machine_counts=dict(machine_counts),
@@ -243,7 +253,109 @@ class ClusterSpec:
             scheduler_params=dict(data.get("scheduler_params", {})),
             queue_capacity=data.get("queue_capacity"),
             weight=float(data.get("weight", 1.0)),
+            uplink=None if uplink is None else Link.from_spec(uplink),
         )
+
+
+@dataclass
+class RegionSpec:
+    """An interior node of a *hierarchical* federation.
+
+    A region groups child nodes — further regions or :class:`ClusterSpec`
+    leaves — behind one **uplink**: the physical link joining this node to
+    its parent. Every WAN path between two leaves climbs child→parent
+    uplinks to the lowest common ancestor and descends again, so a region's
+    uplink is shared by *all* traffic entering or leaving its subtree
+    (a congested region uplink back-pressures every site beneath it).
+
+    Attributes
+    ----------
+    name:
+        Node identifier; globally unique across the whole tree (it is a
+        path segment of :class:`~repro.federation.hierarchy.ClusterPath`
+        wire forms, so ``/`` is forbidden).
+    children:
+        Child nodes, in order (leaf order defines shard indices).
+    uplink:
+        Link to the parent node; ``None`` inherits the federation
+        topology's default link.
+    """
+
+    name: str
+    children: "list[RegionSpec | ClusterSpec]" = field(default_factory=list)
+    uplink: Link | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("region name must be non-empty")
+        self.children = [_coerce_node(c) for c in self.children]
+        if not self.children:
+            raise ConfigurationError(
+                f"region {self.name!r} needs at least one child node"
+            )
+        if self.uplink is not None and not isinstance(self.uplink, Link):
+            self.uplink = Link.from_spec(self.uplink)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (child leaves keep their ClusterSpec shape)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "children": [c.to_dict() for c in self.children],
+        }
+        if self.uplink is not None:
+            out["uplink"] = self.uplink.to_spec()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RegionSpec":
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"region spec must be a JSON object, got {type(data).__name__}"
+            )
+        try:
+            name = data["name"]
+            children = data["children"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"region spec is missing required key {exc.args[0]!r}"
+            ) from None
+        uplink = data.get("uplink")
+        return cls(
+            name=str(name),
+            children=[_coerce_node(c) for c in children],
+            uplink=None if uplink is None else Link.from_spec(uplink),
+        )
+
+
+def _coerce_node(data: Any) -> "RegionSpec | ClusterSpec":
+    """Accept node objects or their JSON forms (``children`` ⇒ region)."""
+    if isinstance(data, (RegionSpec, ClusterSpec)):
+        return data
+    if isinstance(data, Mapping):
+        if "children" in data:
+            return RegionSpec.from_dict(data)
+        return ClusterSpec.from_dict(data)
+    raise ConfigurationError(
+        f"federation tree node must be a RegionSpec, ClusterSpec or JSON "
+        f"object, got {type(data).__name__}"
+    )
+
+
+def _walk_leaves(
+    node: "RegionSpec | ClusterSpec", out: list[ClusterSpec]
+) -> None:
+    if isinstance(node, ClusterSpec):
+        out.append(node)
+        return
+    for child in node.children:
+        _walk_leaves(child, out)
+
+
+def _walk_names(node: "RegionSpec | ClusterSpec", out: list[str]) -> None:
+    out.append(node.name)
+    if isinstance(node, RegionSpec):
+        for child in node.children:
+            _walk_names(child, out)
 
 
 @dataclass
@@ -254,23 +366,38 @@ class FederationSpec:
     ----------
     clusters:
         The cluster shards, in federation order (shard indices follow it).
+        Derived — pre-order leaf order — when ``children`` is set.
     gateway / gateway_params:
         Registered gateway policy routing arrivals between clusters (see
         :mod:`repro.scheduling.federation`).
     topology:
         Inter-cluster WAN links; offloaded tasks pay
         ``topology.wan_delay(origin, destination, task.data_in)`` before
-        entering the destination's batch queue.
+        entering the destination's batch queue. Hierarchical federations
+        derive their links from node uplinks instead (``topology.default``
+        backs any node without an explicit uplink), so explicit link
+        entries are rejected when ``children`` is set.
     migration:
         Mid-queue migration configuration (:class:`MigrationSpec`), or
-        ``None`` (the default) for arrival-time-only routing.
+        ``None`` (the default) for arrival-time-only routing. Refused for
+        hierarchical federations (the rebalancer ships over direct
+        leaf-to-leaf links, which a tree topology does not have).
+    children:
+        Optional hierarchy: a list of top-level :class:`RegionSpec` /
+        :class:`ClusterSpec` nodes under an implicit federation root.
+        When set, ``clusters`` is derived from the tree's leaves and runs
+        execute on :class:`~repro.federation.hierarchy.
+        HierarchicalFederatedSimulator` — path routing over shared parent
+        uplinks. ``None`` (the default) is the flat, byte-identical
+        legacy form.
     """
 
-    clusters: list[ClusterSpec]
+    clusters: list[ClusterSpec] = field(default_factory=list)
     gateway: str = "LEAST_LOADED"
     gateway_params: dict[str, Any] = field(default_factory=dict)
     topology: InterClusterTopology = field(default_factory=InterClusterTopology)
     migration: MigrationSpec | None = None
+    children: "list[RegionSpec | ClusterSpec] | None" = None
 
     def __post_init__(self) -> None:
         self.clusters = [
@@ -281,6 +408,9 @@ class FederationSpec:
             self.migration, MigrationSpec
         ):
             self.migration = MigrationSpec.from_dict(self.migration)
+        if self.children is not None:
+            self.children = [_coerce_node(c) for c in self.children]
+            self._validate_tree()
         if not self.clusters:
             raise ConfigurationError("a federation needs at least one cluster")
         names = [c.name for c in self.clusters]
@@ -297,6 +427,64 @@ class FederationSpec:
                         f"topology link references unknown cluster "
                         f"{endpoint!r}; clusters: {names}"
                     )
+
+    def _validate_tree(self) -> None:
+        """Hierarchy invariants; also derives ``clusters`` from the leaves."""
+        assert self.children is not None
+        if not self.children:
+            raise ConfigurationError(
+                "a hierarchical federation needs at least one child node"
+            )
+        node_names: list[str] = []
+        for node in self.children:
+            _walk_names(node, node_names)
+        for name in node_names:
+            if "/" in name:
+                raise ConfigurationError(
+                    f"federation tree node {name!r} must not contain '/' "
+                    "(the cluster-path wire separator)"
+                )
+            if "->" in name:
+                raise ConfigurationError(
+                    f"federation tree node {name!r} must not contain '->' "
+                    "(the serialised topology-link separator)"
+                )
+            if name == "*":
+                raise ConfigurationError(
+                    "'*' is reserved for the federation root node"
+                )
+        if len(set(node_names)) != len(node_names):
+            dupes = sorted(
+                {n for n in node_names if node_names.count(n) > 1}
+            )
+            raise ConfigurationError(
+                f"federation tree node names must be globally unique; "
+                f"duplicated: {dupes}"
+            )
+        leaves: list[ClusterSpec] = []
+        for node in self.children:
+            _walk_leaves(node, leaves)
+        if self.clusters and [c.name for c in self.clusters] != [
+            c.name for c in leaves
+        ]:
+            raise ConfigurationError(
+                "clusters of a hierarchical federation are derived from the "
+                "tree's leaves; omit the clusters field (or pass exactly the "
+                "pre-order leaf list)"
+            )
+        self.clusters = leaves
+        if self.topology.links:
+            raise ConfigurationError(
+                "hierarchical federations derive WAN links from node "
+                "uplinks; explicit topology links are not allowed "
+                "(set per-node uplink= instead)"
+            )
+        if self.migration is not None:
+            raise ConfigurationError(
+                "hierarchical federations do not support mid-queue "
+                "migration: the rebalancer ships tasks over direct "
+                "leaf-to-leaf links, which a tree topology does not have"
+            )
 
     # -- views ---------------------------------------------------------------------
 
@@ -332,8 +520,22 @@ class FederationSpec:
     # -- JSON round-trip ---------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready form of the whole federation."""
-        out: dict[str, Any] = {
+        """JSON-ready form of the whole federation.
+
+        Hierarchical federations emit ``children`` and omit ``clusters``
+        (the leaf list is derived, so serialising it twice would invite
+        divergence); flat federations keep their exact legacy shape.
+        """
+        out: dict[str, Any]
+        if self.children is not None:
+            out = {
+                "children": [c.to_dict() for c in self.children],
+                "gateway": self.gateway,
+                "gateway_params": dict(self.gateway_params),
+                "topology": self.topology.to_dict(),
+            }
+            return out
+        out = {
             "clusters": [c.to_dict() for c in self.clusters],
             "gateway": self.gateway,
             "gateway_params": dict(self.gateway_params),
@@ -350,12 +552,13 @@ class FederationSpec:
                 f"federation spec must be a JSON object, got "
                 f"{type(data).__name__}"
             )
-        try:
-            clusters = data["clusters"]
-        except KeyError:
+        children = data.get("children")
+        if children is None and "clusters" not in data:
             raise ConfigurationError(
-                "federation spec is missing required key 'clusters'"
-            ) from None
+                "federation spec is missing required key 'clusters' "
+                "(or 'children' for a hierarchical federation)"
+            )
+        clusters = data.get("clusters", [])
         topology = data.get("topology")
         migration = data.get("migration")
         return cls(
@@ -369,5 +572,8 @@ class FederationSpec:
             ),
             migration=(
                 None if migration is None else MigrationSpec.from_dict(migration)
+            ),
+            children=(
+                None if children is None else [_coerce_node(c) for c in children]
             ),
         )

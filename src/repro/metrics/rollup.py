@@ -11,8 +11,8 @@ derived from the gateway's routing matrix.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 from ..tasks.task import TaskStatus
 from .collector import MetricsCollector, SummaryMetrics
@@ -31,6 +31,8 @@ __all__ = [
     "offload_energy_split",
     "MigrationStats",
     "migration_stats",
+    "TreeNodeStats",
+    "TreeRollup",
 ]
 
 
@@ -209,13 +211,19 @@ def offload_energy_split(
     tasks: Sequence["Task"],
     names: Sequence[str],
     topology: "InterClusterTopology",
+    *,
+    energy_fn: Callable[[int, int, float], float] | None = None,
 ) -> OffloadEnergySplit:
     """Split completed-task energy into local vs offloaded accounts.
 
     The WAN share of an offloaded task is exact: a completed task's payload
     crossed its origin→destination link in full, so its cost is that link's
     ``energy_per_mb`` times the task's input size — no per-transfer state
-    needed.
+    needed. ``energy_fn(origin_index, destination_index, megabytes)``
+    overrides that per-crossing cost for topologies where origin and
+    destination are not directly linked (hierarchical federations charge
+    every uplink hop along the tree path); ``None`` keeps the direct-link
+    lookup.
     """
     local_n = offloaded_n = 0
     local_e = offloaded_e = wan_e = 0.0
@@ -230,8 +238,11 @@ def offload_energy_split(
         else:
             offloaded_n += 1
             offloaded_e += energy
-            link = topology.link_between(names[origin], names[cluster])
-            wan_e += link.transfer_energy(task.task_type.data_in)
+            if energy_fn is not None:
+                wan_e += energy_fn(origin, cluster, task.task_type.data_in)
+            else:
+                link = topology.link_between(names[origin], names[cluster])
+                wan_e += link.transfer_energy(task.task_type.data_in)
     return OffloadEnergySplit(
         local_completed=local_n,
         offloaded_completed=offloaded_n,
@@ -239,3 +250,179 @@ def offload_energy_split(
         offloaded_task_energy=offloaded_e,
         wan_transfer_energy=wan_e,
     )
+
+
+@dataclass(frozen=True)
+class TreeNodeStats:
+    """Rolled-up metrics of one node of a hierarchical federation.
+
+    A *leaf* node's stats are the per-shard numbers the run produced; an
+    *interior* node's stats are the exact elementwise sum over every leaf
+    beneath it. ``path`` is the node's position in the tree, root-most
+    segment first; the root's path is empty and prints as ``*``.
+    """
+
+    path: tuple[str, ...]
+    stats: dict[str, float] = field(default_factory=dict)
+    n_leaves: int = 1
+
+    @property
+    def wire(self) -> str:
+        """Wire form of the node's path (``/``-joined; ``*`` at the root)."""
+        return "/".join(self.path) if self.path else "*"
+
+    @property
+    def depth(self) -> int:
+        """Levels below the federation root (0 for the root itself)."""
+        return len(self.path)
+
+    @property
+    def name(self) -> str:
+        """Last path segment (``*`` at the root)."""
+        return self.path[-1] if self.path else "*"
+
+
+class TreeRollup:
+    """Per-level aggregation of leaf metrics over a federation tree.
+
+    Built from the leaves alone: each leaf contributes its path (root-most
+    segment first) and a flat name→number stats mapping, and every interior
+    node — each proper prefix of a leaf path, plus the root — receives the
+    elementwise sum of the leaves beneath it. Numeric identities follow by
+    construction: the root totals equal the flat sum over all leaves, and
+    any conservation law that holds per leaf holds at every interior node.
+
+    Kept free of federation imports so the metrics layer stays a leaf
+    dependency (the hierarchy engine imports *this* module, not vice versa).
+    """
+
+    def __init__(self, nodes: Mapping[tuple[str, ...], TreeNodeStats]) -> None:
+        self._nodes = dict(nodes)
+        self._order = sorted(self._nodes)
+
+    @classmethod
+    def from_leaves(
+        cls,
+        leaf_paths: Sequence[Sequence[str]],
+        leaf_stats: Sequence[Mapping[str, float]],
+    ) -> "TreeRollup":
+        """Fold per-leaf stats upward through every path prefix.
+
+        ``leaf_paths[i]`` locates leaf *i* (root-most segment first) and
+        ``leaf_stats[i]`` holds its numbers. Interior nodes are derived —
+        any proper prefix shared by the paths — so callers never describe
+        the tree twice.
+        """
+        if len(leaf_paths) != len(leaf_stats):
+            raise ValueError(
+                f"got {len(leaf_paths)} leaf paths but "
+                f"{len(leaf_stats)} stat mappings"
+            )
+        sums: dict[tuple[str, ...], dict[str, float]] = {}
+        counts: dict[tuple[str, ...], int] = {}
+        leaf_keys = set()
+        for raw_path, stats in zip(leaf_paths, leaf_stats):
+            path = tuple(raw_path)
+            if not path:
+                raise ValueError("leaf paths must be non-empty")
+            if path in leaf_keys:
+                raise ValueError(f"duplicate leaf path: {'/'.join(path)}")
+            leaf_keys.add(path)
+            for depth in range(len(path) + 1):
+                prefix = path[:depth]
+                acc = sums.setdefault(prefix, {})
+                counts[prefix] = counts.get(prefix, 0) + 1
+                for key, value in stats.items():
+                    acc[key] = acc.get(key, 0.0) + float(value)
+        for path in leaf_keys:
+            if any(
+                other != path and other[: len(path)] == path
+                for other in leaf_keys
+            ):
+                raise ValueError(
+                    f"leaf path {'/'.join(path)} is a prefix of another "
+                    "leaf (a node cannot be both leaf and interior)"
+                )
+        return cls(
+            {
+                path: TreeNodeStats(
+                    path=path, stats=acc, n_leaves=counts[path]
+                )
+                for path, acc in sums.items()
+            }
+        )
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[TreeNodeStats]:
+        for path in self._order:
+            yield self._nodes[path]
+
+    @property
+    def root(self) -> TreeNodeStats:
+        """The federation-wide totals (path ``()``, wire ``*``)."""
+        return self._nodes[()]
+
+    @property
+    def leaves(self) -> list[TreeNodeStats]:
+        """Leaf nodes in path order."""
+        return [n for n in self if n.n_leaves == 1 and n.path]
+
+    def at(self, wire: str) -> TreeNodeStats:
+        """Node by wire path (``region/site/cluster``; ``*`` = root)."""
+        path = () if wire == "*" else tuple(wire.split("/"))
+        try:
+            return self._nodes[path]
+        except KeyError:
+            known = ", ".join(n.wire for n in self)
+            raise KeyError(
+                f"no federation tree node {wire!r}; known: {known}"
+            ) from None
+
+    def children_of(self, node: TreeNodeStats) -> list[TreeNodeStats]:
+        """Direct children of ``node``, in path order."""
+        depth = len(node.path) + 1
+        return [
+            n
+            for n in self
+            if len(n.path) == depth and n.path[:-1] == node.path
+        ]
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Wire-path-keyed JSON form (stable key order)."""
+        return {n.wire: dict(sorted(n.stats.items())) for n in self}
+
+    def to_text(self, *, columns: Sequence[str] | None = None) -> str:
+        """Indented per-level table of the rollup.
+
+        ``columns`` picks which stat keys to print (default: every key of
+        the root, sorted); each node row is indented by its depth.
+        """
+        cols = (
+            list(columns)
+            if columns is not None
+            else sorted(self.root.stats)
+        )
+        label_width = max(
+            (2 * n.depth + len(n.name) for n in self), default=4
+        )
+        label_width = max(label_width, len("node"))
+        widths = [max(len(c), 10) for c in cols]
+        lines = [
+            "  ".join(
+                ["node".ljust(label_width)]
+                + [c.rjust(w) for c, w in zip(cols, widths)]
+            )
+        ]
+        for node in self:
+            label = ("  " * node.depth + node.name).ljust(label_width)
+            cells = []
+            for col, w in zip(cols, widths):
+                value = node.stats.get(col, 0.0)
+                if float(value).is_integer() and abs(value) < 1e15:
+                    cells.append(f"{int(value)}".rjust(w))
+                else:
+                    cells.append(f"{value:.3f}".rjust(w))
+            lines.append("  ".join([label] + cells))
+        return "\n".join(lines)

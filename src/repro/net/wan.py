@@ -119,6 +119,7 @@ class WanTransfer:
         "service_event",
         "delivery_event",
         "kind",
+        "tag",
     )
 
     def __init__(
@@ -129,6 +130,7 @@ class WanTransfer:
         submitted_at: float,
         channel: "LinkChannel",
         kind: EventType = EventType.TASK_ARRIVAL,
+        tag: int | tuple[int, ...] | None = None,
     ) -> None:
         self.task = task
         self.megabytes = megabytes
@@ -144,6 +146,11 @@ class WanTransfer:
         #: TASK_MIGRATION for mid-queue migrations); both kinds share the
         #: link's pipe and pay the same energy — only dispatch differs.
         self.kind = kind
+        #: ``Event.cluster`` value stamped on the delivery event. Defaults
+        #: to ``dst_index`` (the flat, single-hop form); hierarchical
+        #: federations tag intermediate hops with the remaining node path
+        #: instead (:mod:`repro.federation.hierarchy`).
+        self.tag: int | tuple[int, ...] = dst_index if tag is None else tag
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -540,7 +547,7 @@ class LinkChannel:
                 now + self.link.latency,
                 transfer.kind,
                 transfer.task,
-                cluster=transfer.dst_index,
+                cluster=transfer.tag,
             )
         )
 
@@ -817,12 +824,16 @@ class WanManager:
         destination: int,
         now: float,
         kind: EventType = EventType.TASK_ARRIVAL,
+        tag: int | tuple[int, ...] | None = None,
     ) -> WanTransfer | None:
         """Route an offloaded (or migrated) task into the WAN.
 
         ``kind`` is the delivery event's type: ``TASK_ARRIVAL`` for gateway
         offloads, ``TASK_MIGRATION`` for mid-queue migrations — both contend
-        for the same physical link. Returns the :class:`WanTransfer` handle
+        for the same physical link. ``tag`` overrides the ``Event.cluster``
+        value stamped on the delivery (hierarchical federations tag relay
+        hops with the remaining node path; the default is ``destination``,
+        the flat single-hop form). Returns the :class:`WanTransfer` handle
         the federation keeps for deadline cancellation, or ``None`` when the
         task crosses instantly (zero-delay link) and was already accounted.
         """
@@ -835,7 +846,7 @@ class WanManager:
                 return None
             self.total_time += delay
             transfer = self._make_transfer(
-                task, megabytes, destination, now, channel, kind
+                task, megabytes, destination, now, channel, kind, tag
             )
             channel.submit(transfer, now)
             transfer.delivery_event = self._events.push(
@@ -843,12 +854,12 @@ class WanManager:
                     now + delay,
                     kind,
                     task,
-                    cluster=destination,
+                    cluster=transfer.tag,
                 )
             )
             return transfer
         transfer = self._make_transfer(
-            task, megabytes, destination, now, channel, kind
+            task, megabytes, destination, now, channel, kind, tag
         )
         channel.submit(transfer, now)
         return transfer
@@ -861,6 +872,7 @@ class WanManager:
         now: float,
         channel: LinkChannel,
         kind: EventType,
+        tag: int | tuple[int, ...] | None = None,
     ) -> WanTransfer:
         """A fresh transfer handle, reusing a released slot when one exists."""
         pool = self._pool
@@ -875,8 +887,9 @@ class WanManager:
             transfer.phase = TransferPhase.QUEUED
             transfer.channel = channel
             transfer.kind = kind
+            transfer.tag = destination if tag is None else tag
             return transfer
-        return WanTransfer(task, megabytes, destination, now, channel, kind)
+        return WanTransfer(task, megabytes, destination, now, channel, kind, tag)
 
     def release(self, transfer: WanTransfer) -> None:
         """Park a finished transfer's slot for reuse by a later submit.

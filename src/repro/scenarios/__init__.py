@@ -21,6 +21,7 @@ from .federated import (
     fed_rebalance,
     geo_3site,
 )
+from .hierarchical import hier_3region, hier_deep
 from .presets import classroom_homogeneous, edge_ai, satellite_imaging
 from .registry import (
     available_scenarios,
@@ -47,6 +48,8 @@ __all__ = [
     "fed_adaptive",
     "trace_replay",
     "diurnal_wan",
+    "hier_3region",
+    "hier_deep",
     "register_scenario",
     "scenario_factory",
     "build_scenario",

@@ -39,6 +39,7 @@ from .registry import (
     gateway_class,
     register_gateway,
 )
+from .tree import TreePressureGateway
 
 __all__ = [
     "GatewayContext",
@@ -51,6 +52,7 @@ __all__ = [
     "RandomSplitGateway",
     "AdaptiveGateway",
     "ArmStats",
+    "TreePressureGateway",
     "register_gateway",
     "create_gateway",
     "available_gateways",

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, ClassVar, Protocol, Sequence, runtime_checkabl
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ...federation.hierarchy import HierarchyView
     from ...machines.cluster import Cluster
     from ...net.topology import InterClusterTopology
     from ...net.wan import WanManager
@@ -123,6 +124,12 @@ class GatewayContext:
         has no rebalancer. Lets a gateway see how often its routing
         decisions are being corrected after the fact — e.g. back off a
         destination the rebalancer keeps draining.
+    hierarchy:
+        The federation tree and its live per-leaf WAN counters
+        (:class:`repro.federation.hierarchy.HierarchyView`) when the run
+        is hierarchical; ``None`` on flat federations. Tree-capable
+        gateways (``supports_hierarchy``) roll leaf pressure up this view
+        to pick subtrees level by level.
     """
 
     now: float
@@ -133,6 +140,7 @@ class GatewayContext:
     rng: np.random.Generator
     wan: "WanManager | None" = None
     migrations: "Sequence[Sequence[int]] | None" = None
+    hierarchy: "HierarchyView | None" = None
 
     def migrations_between(self, source: int, destination: int) -> int:
         """Tasks migrated source → destination so far (0 without a rebalancer)."""
@@ -213,6 +221,12 @@ class GatewayPolicy(abc.ABC):
     #: terminal task. Learning policies (the adaptive gateway) opt in; the
     #: default keeps the stock policies free of per-task callback cost.
     wants_feedback: ClassVar[bool] = False
+    #: Whether ``choose_cluster`` understands hierarchical federations
+    #: (reads ``ctx.hierarchy`` and routes level by level). Flat policies
+    #: compare leaves pairwise over direct links — links a tree topology
+    #: does not have — so the hierarchy engine refuses them at
+    #: construction rather than silently mis-pricing every WAN signal.
+    supports_hierarchy: ClassVar[bool] = False
 
     @abc.abstractmethod
     def choose_cluster(self, ctx: GatewayContext) -> int:

@@ -1,0 +1,186 @@
+"""Properties of hierarchical federations over random trees.
+
+Four laws that must hold for *every* federation tree, not just the shipped
+presets:
+
+1. spec JSON round-trips losslessly (hierarchy is a reproducible artifact),
+2. a rollup's root totals are exactly the flat sum over its leaves,
+3. WAN conservation — ``attempted == delivered + cancelled_in_flight`` —
+   holds at every node of a finished run, interior nodes included,
+4. a route never leaves the origin/destination subtrees: every hop is an
+   ancestor-or-self of one endpoint (no sibling subtree ever relays
+   foreign traffic).
+"""
+
+import itertools
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import Scenario
+from repro.federation import ClusterSpec, FederationSpec, RegionSpec
+from repro.federation.hierarchy import FederationTree
+from repro.machines.eet import EETMatrix
+from repro.metrics.rollup import TreeRollup
+from repro.net import InterClusterTopology
+from repro.net.topology import Link
+from repro.tasks.task import Task
+from repro.tasks.task_type import TaskType
+from repro.tasks.workload import Workload
+
+
+@st.composite
+def federation_specs(draw, max_depth=3):
+    """A random hierarchical FederationSpec with unique node names."""
+    counter = itertools.count()
+
+    def uplink():
+        if draw(st.booleans()):
+            return Link(
+                latency=draw(
+                    st.floats(min_value=0.01, max_value=1.0,
+                              allow_nan=False)
+                ),
+                bandwidth=draw(st.sampled_from([0.0, 1.0, 8.0])),
+            )
+        return None
+
+    def node(depth):
+        name = f"n{next(counter)}"
+        if depth >= max_depth or draw(st.booleans()):
+            return ClusterSpec(
+                name=name,
+                machine_counts={"M": draw(st.integers(1, 2))},
+                weight=1.0,
+                uplink=uplink(),
+            )
+        return RegionSpec(
+            name=name,
+            children=[
+                node(depth + 1)
+                for _ in range(draw(st.integers(1, 3)))
+            ],
+            uplink=uplink(),
+        )
+
+    children = [node(1) for _ in range(draw(st.integers(1, 3)))]
+    return FederationSpec(
+        children=children,
+        gateway="TREE_PRESSURE",
+        topology=InterClusterTopology(
+            default=Link(0.2, 2.0, contention="fifo")
+        ),
+    )
+
+
+def _scenario(spec, tasks, *, seed):
+    task_types = [TaskType("T1", 0, data_in=2.0)]
+    eet = EETMatrix(np.array([[3.0]]), task_types, ["M"])
+    workload = Workload(
+        task_types=task_types,
+        tasks=[
+            Task(id=i, task_type=task_types[0], arrival_time=a, deadline=d)
+            for i, (a, d) in enumerate(tasks)
+        ],
+    )
+    return Scenario(
+        eet=eet,
+        machine_counts=spec.total_machine_counts(),
+        scheduler="MECT",
+        workload=workload,
+        federation=spec,
+        seed=seed,
+        name="prop-hier",
+    )
+
+
+@given(spec=federation_specs())
+@settings(max_examples=60, deadline=None)
+def test_random_trees_round_trip_json(spec):
+    wire = json.dumps(spec.to_dict(), sort_keys=True)
+    rebuilt = FederationSpec.from_dict(json.loads(wire))
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == wire
+    assert rebuilt.names == spec.names
+    # The rebuilt tree compiles to the identical topology.
+    assert (
+        FederationTree(rebuilt).hop_topology.to_dict()
+        == FederationTree(spec).hop_topology.to_dict()
+    )
+
+
+@given(
+    spec=federation_specs(),
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_rollup_root_equals_flat_leaf_sum(spec, values):
+    tree = FederationTree(spec)
+    stats = [
+        {"v": values[i % len(values)], "one": 1.0}
+        for i in range(tree.n_leaves)
+    ]
+    rollup = TreeRollup.from_leaves(tree.leaf_paths, stats)
+    assert rollup.root.stats["v"] == sum(s["v"] for s in stats)
+    assert rollup.root.stats["one"] == tree.n_leaves
+    assert rollup.root.n_leaves == tree.n_leaves
+    # Every interior node is the sum of its direct children ("one" is
+    # integer-valued so exact; "v" only up to float association order —
+    # the fold accumulates leaf-by-leaf, the check child-by-child).
+    for node in rollup:
+        children = rollup.children_of(node)
+        if not children:
+            continue
+        assert node.stats["one"] == sum(c.stats["one"] for c in children)
+        assert node.stats["v"] == pytest.approx(
+            sum(c.stats["v"] for c in children), rel=1e-9, abs=1e-9
+        )
+
+
+@given(
+    spec=federation_specs(),
+    seed=st.integers(min_value=0, max_value=2**16),
+    tight=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_wan_conservation_at_every_node(spec, seed, tight):
+    deadline = 4.0 if tight else 500.0
+    tasks = [(0.4 * i, 0.4 * i + deadline) for i in range(12)]
+    result = _scenario(spec, tasks, seed=seed).run()
+    rollup = result.tree
+    for node in rollup:
+        stats = node.stats
+        assert stats["wan_attempted"] == (
+            stats["wan_delivered"] + stats["wan_cancelled_in_flight"]
+        ), node.wire
+        # Every routed task reached a terminal state by the end.
+        assert stats["routed"] == (
+            stats["completed"] + stats["missed"] + stats["cancelled"]
+        ), node.wire
+    assert rollup.root.stats["routed"] == len(tasks)
+    assert rollup.root.stats["wan_attempted"] == result.offloaded
+
+
+@given(spec=federation_specs())
+@settings(max_examples=60, deadline=None)
+def test_routes_never_leave_the_endpoint_subtrees(spec):
+    tree = FederationTree(spec)
+    pairs = itertools.islice(
+        itertools.product(range(tree.n_leaves), repeat=2), 64
+    )
+    for origin, destination in pairs:
+        route = tree.route(origin, destination)
+        assert route[0] == origin
+        assert route[-1] == destination
+        for a, b in zip(route, route[1:]):
+            # Consecutive hops are tree-adjacent (child <-> parent).
+            assert tree.parent[a] == b or tree.parent[b] == a
+        for node in route:
+            # Ancestor-or-self of an endpoint: no sibling subtree relays.
+            leaves = tree.leaves_under[node]
+            assert origin in leaves or destination in leaves
